@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the projection model and figure renderers:
+//! evaluating one workload×SKU, scoring a full suite, and regenerating
+//! Figure 2 must all be cheap enough to embed in optimization loops.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dcperf_platform::model::OsConfig;
+use dcperf_platform::profile::profiles;
+use dcperf_platform::{projection, sku, Model};
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let model = Model::new();
+    let os = OsConfig::default();
+    let feedsim = profiles::feedsim();
+    let mut group = c.benchmark_group("model");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("evaluate_one", |b| {
+        b.iter(|| black_box(model.evaluate(black_box(&feedsim), &sku::SKU4, &os)))
+    });
+    group.bench_function("figure2_full", |b| {
+        b.iter(|| black_box(projection::figure2(&model)))
+    });
+    group.bench_function("figure14_perf_per_watt", |b| {
+        b.iter(|| black_box(projection::figure14(&model)))
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("render_fig4_tmam", |b| {
+        b.iter(|| black_box(dcperf_bench::render("fig4").unwrap()))
+    });
+    group.bench_function("render_all", |b| {
+        b.iter(|| black_box(dcperf_bench::render_all()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks for the datacenter-tax kernels — the
+//! measured counterpart of §3.2's tax microbenchmarks. One group per tax
+//! category of Figure 12.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dcperf_tax::{compress, crypto, hash, memops, serialize};
+use dcperf_util::{Rng, SplitMix64};
+use std::hint::black_box;
+
+fn corpus(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    let mut data = Vec::with_capacity(len);
+    while data.len() < len {
+        let run = (rng.next_u64() % 24 + 4) as usize;
+        let byte = (rng.next_u64() % 64 + 32) as u8;
+        data.extend(std::iter::repeat_n(byte, run.min(len - data.len())));
+    }
+    data
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let data = corpus(16 << 10, 1);
+    let packed = compress::lz_compress(&data);
+    let mut group = c.benchmark_group("compression");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("lz_compress_16k", |b| {
+        b.iter(|| black_box(compress::lz_compress(black_box(&data))))
+    });
+    group.bench_function("lz_decompress_16k", |b| {
+        b.iter(|| black_box(compress::lz_decompress(black_box(&packed)).unwrap()))
+    });
+    group.bench_function("rle_compress_16k", |b| {
+        b.iter(|| black_box(compress::rle_compress(black_box(&data))))
+    });
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let data = corpus(4 << 10, 2);
+    let mut group = c.benchmark_group("hashing");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("fnv1a_4k", |b| b.iter(|| black_box(hash::fnv1a(black_box(&data)))));
+    group.bench_function("dcx64_4k", |b| {
+        b.iter(|| black_box(hash::dcx64(black_box(&data), 7)))
+    });
+    group.bench_function("crc32_4k", |b| b.iter(|| black_box(hash::crc32(black_box(&data)))));
+    group.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let data = corpus(4 << 10, 3);
+    let key = [0x42u8; 32];
+    let nonce = [0x24u8; 12];
+    let mut group = c.benchmark_group("crypto");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_4k", |b| {
+        b.iter(|| black_box(crypto::Sha256::digest(black_box(&data))))
+    });
+    group.bench_function("hmac_sha256_4k", |b| {
+        b.iter(|| black_box(crypto::hmac_sha256(&key, black_box(&data))))
+    });
+    group.bench_function("chacha20_4k", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            crypto::ChaCha20::new(&key, &nonce, 1).apply(&mut buf);
+            black_box(buf)
+        })
+    });
+    group.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let records: Vec<serialize::Record> = (0..64i64)
+        .map(|i| {
+            vec![
+                serialize::FieldValue::I64(i * 31337),
+                serialize::FieldValue::F64(i as f64 * 0.5),
+                serialize::FieldValue::Str(format!("row-{i}-payload")),
+            ]
+        })
+        .collect();
+    let mut encoded = Vec::new();
+    serialize::encode_batch(&records, &mut encoded);
+    let mut group = c.benchmark_group("serialization");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("encode_64_records", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            serialize::encode_batch(black_box(&records), &mut buf);
+            black_box(buf)
+        })
+    });
+    group.bench_function("decode_64_records", |b| {
+        b.iter(|| black_box(serialize::decode_batch(black_box(&encoded)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let src = corpus(64 << 10, 4);
+    let mut dst = vec![0u8; src.len()];
+    let mut group = c.benchmark_group("memory");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("copy_64k", |b| {
+        b.iter(|| black_box(memops::copy_sequential(&src, &mut dst, 1)))
+    });
+    group.bench_function("gather_4096_from_64k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(memops::gather_random(&src, 4096, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compression,
+    bench_hashing,
+    bench_crypto,
+    bench_serialization,
+    bench_memory
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! CLI that regenerates the paper's tables and figures.
+//!
+//! Usage: `figures all` or `figures fig2 fig14 table3 …`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: figures all | <id>...");
+        eprintln!("ids: {}", dcperf_bench::FIGURE_IDS.join(", "));
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "all") {
+        print!("{}", dcperf_bench::render_all());
+        return;
+    }
+    for id in &args {
+        match dcperf_bench::render(id) {
+            Ok(text) => {
+                println!("==================== {id} ====================");
+                print!("{text}");
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

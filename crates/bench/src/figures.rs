@@ -1,0 +1,442 @@
+//! Renderers for every table and figure in the paper's evaluation.
+
+use dcperf_platform::cloudsuite::{self, InMemoryBench};
+use dcperf_platform::model::OsConfig;
+use dcperf_platform::profile::profiles;
+use dcperf_platform::{projection, sku, vendor, Model, WorkloadProfile};
+use std::fmt::Write as _;
+
+/// Every renderable id, in paper order.
+pub const FIGURE_IDS: [&str; 21] = [
+    "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15",
+    "fig16",
+];
+
+/// Renders one table/figure by id.
+///
+/// # Errors
+///
+/// Returns an error message for unknown ids.
+pub fn render(id: &str) -> Result<String, String> {
+    match id {
+        "table1" => Ok(table1()),
+        "table2" => Ok(table2()),
+        "table3" => Ok(sku::render_table3()),
+        "table4" => Ok(sku::render_table4()),
+        "fig2" => Ok(fig2()),
+        "fig3" => Ok(fig3()),
+        "fig4" => Ok(fig4()),
+        "fig5" => Ok(fig5()),
+        "fig6" => Ok(micro_metric_figure(
+            "Figure 6: IPC per physical core (SMT on), SKU2",
+            "IPC",
+            |est| est.ipc,
+        )),
+        "fig7" => Ok(micro_metric_figure(
+            "Figure 7: memory bandwidth consumption (GB/s), SKU2",
+            "GB/s",
+            |est| est.mem_bw_gbs,
+        )),
+        "fig8" => Ok(micro_metric_figure(
+            "Figure 8: L1 I-cache misses (MPKI), SKU2",
+            "MPKI",
+            |est| est.l1i_mpki,
+        )),
+        "fig9" => Ok(fig9()),
+        "fig10" => Ok(fig10()),
+        "fig11" => Ok(micro_metric_figure(
+            "Figure 11: core frequency (GHz), SKU2",
+            "GHz",
+            |est| est.freq_ghz,
+        )),
+        "fig12" => Ok(fig12()),
+        "fig13a" => Ok(fig13a()),
+        "fig13b" => Ok(fig13b()),
+        "fig13c" => Ok(fig13c()),
+        "fig14" => Ok(fig14()),
+        "fig15" => Ok(fig15()),
+        "fig16" => Ok(fig16()),
+        other => Err(format!(
+            "unknown figure id '{other}'; known ids: {}",
+            FIGURE_IDS.join(", ")
+        )),
+    }
+}
+
+/// Renders every table and figure, in paper order.
+pub fn render_all() -> String {
+    let mut out = String::new();
+    for id in FIGURE_IDS {
+        out.push_str(&format!("==================== {id} ====================\n"));
+        out.push_str(&render(id).expect("built-in ids render"));
+        out.push('\n');
+    }
+    out
+}
+
+fn table1() -> String {
+    let mut out = String::from(
+        "Table 1: workloads modeled in DCPerf (N(n) = same order of magnitude as n)\n",
+    );
+    let rows = [
+        ("Workload", "Web", "Ranking", "Data Caching", "Big Data", "Media Proc."),
+        (
+            "Benchmarks",
+            "MediaWiki, DjangoBench",
+            "FeedSim",
+            "TaoBench",
+            "SparkBench",
+            "VideoTranscode",
+        ),
+        (
+            "Perf. metric",
+            "Peak RPS",
+            "RPS under latency SLO",
+            "Peak RPS + hit rate",
+            "Throughput",
+            "Throughput",
+        ),
+        ("Req. proc. time", "Seconds", "Seconds", "Milliseconds", "Minutes", "Minutes"),
+        ("Peak CPU util.", "90-100%", "50-70%", "80%", "60-80%", "95-100%"),
+        ("Thread:core", "N(100)", "N(10)", "N(10)", "N(1)", "N(1)"),
+        ("Per-server RPS", "N(1K)", "N(100)", "N(1M)", "N(10)", "N(10)"),
+        ("RPC fanout", "N(100)", "N(10)", "N(10)", "N(10)", "0"),
+        ("Instr/request", "N(1B)", "N(10B)", "N(1K)", "N(10B)", "N(1M)"),
+    ];
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:<24} {:<22} {:<20} {:<12} {:<14}",
+            row.0, row.1, row.2, row.3, row.4, row.5
+        );
+    }
+    out
+}
+
+fn table2() -> String {
+    let mut out = String::from(
+        "Table 2: software stacks (paper) and the from-scratch Rust substitutes (this repo)\n",
+    );
+    let rows = [
+        ("MediaWiki", "HHVM, MediaWiki, Memcached, MySQL, Nginx, wrk", "wiki-markup renderer + dcperf-kvstore + row store + siege-style loadgen"),
+        ("DjangoBench", "Django, UWSGI, Cassandra, Memcached", "share-nothing worker-per-core app + wide-row store + dcperf-kvstore"),
+        ("FeedSim", "OLDIsim, Zlib/Snappy, OpenSSL/fizz, FBThrift/Wangle", "feature-extract/rank pipeline + dcperf-tax (compress/crypto) + dcperf-rpc"),
+        ("TaoBench", "Memcached, Memtier, Folly, fmt, libevent", "dcperf-kvstore read-through cache + memtier-style client + fast/slow pools"),
+        ("SparkBench", "Apache Spark, OpenJDK, SparkSQL", "mini columnar engine with spill-to-disk shuffle (dcperf-workloads::spark)"),
+        ("VideoTranscode", "ffmpeg, svt-av1, libaom, x264", "resize ladder + 8x8 DCT block encoder (dcperf-workloads::video)"),
+    ];
+    for (bench, paper, ours) in rows {
+        let _ = writeln!(out, "{bench:<14} paper: {paper}\n{:<14} ours : {ours}", "");
+    }
+    out
+}
+
+fn fig2() -> String {
+    let model = Model::new();
+    let scores = projection::figure2(&model);
+    let mut out = String::from(
+        "Figure 2: performance of SKUs normalized to SKU1\nsuite        SKU1   SKU2   SKU3   SKU4\n",
+    );
+    for suite in ["Production", "DCPerf", "SPEC 2006", "SPEC 2017"] {
+        let row: Vec<f64> = scores
+            .iter()
+            .filter(|s| s.suite == suite)
+            .map(|s| s.score)
+            .collect();
+        let _ = writeln!(
+            out,
+            "{suite:<12} {:.2}   {:.2}   {:.2}   {:.2}",
+            row[0], row[1], row[2], row[3]
+        );
+    }
+    out.push_str("paper:       Production 1/1.25/1.74/4.50, DCPerf 1/1.24/1.69/4.65,\n");
+    out.push_str("             SPEC06 1/1.24/1.67/5.42, SPEC17 1/1.32/1.90/5.75\n");
+    out
+}
+
+fn fig3() -> String {
+    let model = Model::new();
+    let errors = projection::figure3(&model);
+    let mut out = String::from(
+        "Figure 3: relative error of performance projection vs production (%)\nsuite        SKU1    SKU2    SKU3    SKU4\n",
+    );
+    for suite in ["DCPerf", "SPEC 2006", "SPEC 2017"] {
+        let row: Vec<f64> = errors
+            .iter()
+            .filter(|s| s.suite == suite)
+            .map(|s| s.score)
+            .collect();
+        let _ = writeln!(
+            out,
+            "{suite:<12} {:+.1}%  {:+.1}%  {:+.1}%  {:+.1}%",
+            row[0], row[1], row[2], row[3]
+        );
+    }
+    out.push_str("paper:       DCPerf 0/-0.8/-2.9/+3.3, SPEC06 0/-0.8/-4.0/+20.4,\n");
+    out.push_str("             SPEC17 0/+5.6/+9.2/+27.8\n");
+    out
+}
+
+fn evaluation_columns() -> Vec<WorkloadProfile> {
+    let mut cols = Vec::new();
+    for (bench, prod) in profiles::dcperf_production_pairs() {
+        cols.push(prod);
+        cols.push(bench);
+    }
+    cols.extend(profiles::spec2017_suite());
+    cols
+}
+
+fn fig4() -> String {
+    let model = Model::new();
+    let os = OsConfig::default();
+    let mut out = String::from(
+        "Figure 4: TMAM profiles on SKU2 (percent of pipeline slots)\nworkload              frontend  badspec  backend  retiring\n",
+    );
+    for p in evaluation_columns() {
+        let t = model.evaluate(&p, &sku::SKU2, &os).tmam;
+        let _ = writeln!(
+            out,
+            "{:<22} {:>7.0}  {:>7.0}  {:>7.0}  {:>8.0}",
+            p.name, t.frontend, t.bad_spec, t.backend, t.retiring
+        );
+    }
+    out
+}
+
+fn fig5() -> String {
+    let model = Model::new();
+    let os = OsConfig::default();
+    let mut out = String::from(
+        "Figure 5: average TMAM components (percent of pipeline slots)\nsuite        frontend  badspec  backend  retiring\n",
+    );
+    let suites: [(&str, Vec<WorkloadProfile>); 3] = [
+        ("Prod", profiles::production_suite()),
+        ("DCPerf", profiles::dcperf_suite()),
+        ("SPEC2017", profiles::spec2017_suite()),
+    ];
+    for (label, suite) in suites {
+        let n = suite.len() as f64;
+        let mut f = 0.0;
+        let mut b = 0.0;
+        let mut be = 0.0;
+        let mut r = 0.0;
+        for p in &suite {
+            let t = model.evaluate(p, &sku::SKU2, &os).tmam;
+            f += t.frontend;
+            b += t.bad_spec;
+            be += t.backend;
+            r += t.retiring;
+        }
+        let _ = writeln!(
+            out,
+            "{label:<12} {:>7.0}  {:>7.0}  {:>7.0}  {:>8.0}",
+            f / n,
+            b / n,
+            be / n,
+            r / n
+        );
+    }
+    out.push_str("paper: Prod 36/9/16/39, DCPerf 34/9/13/45, SPEC17 20/9/24/47\n");
+    out
+}
+
+fn micro_metric_figure(
+    title: &str,
+    unit: &str,
+    metric: impl Fn(&dcperf_platform::PerfEstimate) -> f64,
+) -> String {
+    let model = Model::new();
+    let os = OsConfig::default();
+    let mut out = format!("{title}\nworkload              {unit}\n");
+    for p in evaluation_columns() {
+        let est = model.evaluate(&p, &sku::SKU2, &os);
+        let _ = writeln!(out, "{:<22} {:>8.2}", p.name, metric(&est));
+    }
+    out
+}
+
+fn fig9() -> String {
+    let model = Model::new();
+    let os = OsConfig::default();
+    let mut out = String::from(
+        "Figure 9: CPU utilization on SKU2 (percent)\nworkload              total    sys\n",
+    );
+    for p in evaluation_columns() {
+        let est = model.evaluate(&p, &sku::SKU2, &os);
+        let _ = writeln!(
+            out,
+            "{:<22} {:>5.0}  {:>5.1}",
+            p.name, est.cpu_util_total, est.cpu_util_sys
+        );
+    }
+    out
+}
+
+fn fig10() -> String {
+    let model = Model::new();
+    let os = OsConfig::default();
+    let mut out = String::from(
+        "Figure 10: power as percent of server design power, SKU2\nworkload              core   soc  dram  other  TOTAL\n",
+    );
+    let mut cols: Vec<WorkloadProfile> = vec![
+        profiles::fbweb_prod(),
+        profiles::mediawiki(),
+        profiles::igweb_prod(),
+        profiles::djangobench(),
+        profiles::ranking_prod(),
+        profiles::feedsim(),
+    ];
+    for setting in 1..=3u8 {
+        cols.push(profiles::video_prod(setting));
+        cols.push(profiles::videobench(setting));
+    }
+    cols.extend(profiles::spec2017_suite());
+    for p in cols {
+        let pw = model.evaluate(&p, &sku::SKU2, &os).power_pct;
+        let _ = writeln!(
+            out,
+            "{:<22} {:>4.0}  {:>4.0}  {:>4.0}  {:>5.0}  {:>5.0}",
+            p.name,
+            pw.core,
+            pw.soc,
+            pw.dram,
+            pw.other,
+            pw.total()
+        );
+    }
+    out.push_str("paper averages: Prod 87%, DCPerf 84%, SPEC 78%\n");
+    out
+}
+
+fn fig12() -> String {
+    let mut out = String::from(
+        "Figure 12: CPU-cycle breakdown, application logic vs datacenter tax\n",
+    );
+    for (bench, prod) in profiles::dcperf_production_pairs() {
+        for p in [prod, bench] {
+            if p.tax.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<16} app {:>4.0}%  tax {:>4.0}%",
+                p.name,
+                p.app_percent(),
+                p.tax_percent()
+            );
+            for s in &p.tax {
+                let _ = writeln!(out, "    {:<28} {:>5.1}%", s.label, s.percent);
+            }
+        }
+    }
+    out
+}
+
+fn fig13a() -> String {
+    let mut out = String::from(
+        "Figure 13a: CloudSuite Data Caching, RPS vs CPU utilization\n",
+    );
+    for (label, cores) in [("SKU-A (72 cores)", 72u32), ("SKU4 (176 cores)", 176)] {
+        let _ = writeln!(out, "{label}:");
+        for p in cloudsuite::figure13a(cores) {
+            let _ = writeln!(out, "  util {:>4.0}%  {:>8.0} RPS", p.cpu_util, p.rps);
+        }
+    }
+    out.push_str("shape: 7.3x util gain buys only +26% RPS on 72 cores; RPS falls on 176\n");
+    out
+}
+
+fn fig13b() -> String {
+    let mut out = String::from(
+        "Figure 13b: CloudSuite Web Serving vs load scale (SKU4)\nload   ops/s  errors/s  cpu%\n",
+    );
+    for p in cloudsuite::figure13b() {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>6.1}  {:>8.1}  {:>4.0}",
+            p.load_scale, p.ops_per_sec, p.errors_per_sec, p.cpu_util
+        );
+    }
+    out.push_str("shape: ops plateau past 100; 504 timeouts past 140 at <50% CPU\n");
+    out
+}
+
+fn fig13c() -> String {
+    let mut out = String::from(
+        "Figure 13c: CPU utilization timeline (SKU4)\nt(s)   CloudSuite-ALS  SparkBench\n",
+    );
+    let cs = cloudsuite::figure13c(InMemoryBench::CloudSuiteAnalytics);
+    let sb = cloudsuite::figure13c(InMemoryBench::SparkBench);
+    for (a, b) in cs.iter().zip(&sb).step_by(5) {
+        let _ = writeln!(out, "{:>4}   {:>13.0}%  {:>9.0}%", a.elapsed_s, a.cpu_util, b.cpu_util);
+    }
+    out.push_str("shape: ALS stuck ~20% for the whole run; SparkBench 60% I/O stages then 80% compute\n");
+    out
+}
+
+fn fig14() -> String {
+    let model = Model::new();
+    let rows = projection::figure14(&model);
+    let mut out = String::from(
+        "Figure 14: Perf/Watt normalized to SKU1\nbenchmark      SKU4   SKU-A  SKU-B\n",
+    );
+    let mut names: Vec<String> = Vec::new();
+    for r in &rows {
+        if !names.contains(&r.benchmark) {
+            names.push(r.benchmark.clone());
+        }
+    }
+    for name in names {
+        let cell = |sku: &str| {
+            rows.iter()
+                .find(|r| r.benchmark == name && r.sku == sku)
+                .map(|r| r.value)
+                .unwrap_or(0.0)
+        };
+        let _ = writeln!(
+            out,
+            "{name:<14} {:>5.1}  {:>5.1}  {:>5.1}",
+            cell("SKU4"),
+            cell("SKU-A"),
+            cell("SKU-B")
+        );
+    }
+    out.push_str("paper suite rows: DCPerf 1.8/2.3(+25%)/0.8(-57%), SPEC17 1.6/1.8/1.6\n");
+    out
+}
+
+fn fig15() -> String {
+    let model = Model::new();
+    let mut out = String::from(
+        "Figure 15: impact of the vendor's cache-replacement optimization\nworkload        appPerf   GIPS    IPC   L1I-miss  L2-miss  LLC-miss  MemBW\n",
+    );
+    for i in vendor::figure15(&model) {
+        let _ = writeln!(
+            out,
+            "{:<15} {:>+6.1}% {:>+6.1}% {:>+6.1}% {:>+8.0}% {:>+7.0}% {:>+8.1}% {:>+6.1}%",
+            i.workload, i.app_perf, i.gips, i.ipc, i.l1i_miss, i.l2_miss, i.llc_miss, i.mem_bw
+        );
+    }
+    out.push_str(
+        "paper: FBweb +2.9/+2.4/+2.2/-36/-28/-14.4/-9.9; Mediawiki +3.5/+3.0/+1.9/-36/-28/-10.2/-6.7\n",
+    );
+    out
+}
+
+fn fig16() -> String {
+    let model = Model::new();
+    let mut out = String::from(
+        "Figure 16: TaoBench relative performance across kernels and SKUs\n",
+    );
+    for cell in projection::figure16(&model) {
+        let _ = writeln!(
+            out,
+            "{:<14} {:<12} {:>6.0}%",
+            cell.sku, cell.kernel, cell.relative_percent
+        );
+    }
+    out.push_str("paper: 176c 6.4=100%, 384c 6.4=162%, 176c 6.9=103%, 384c 6.9=249%\n");
+    out
+}

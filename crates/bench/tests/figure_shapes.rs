@@ -1,0 +1,193 @@
+//! Integration tests asserting the paper's qualitative claims hold in
+//! every regenerated table and figure — the "shape" contract of the
+//! reproduction.
+
+use dcperf_bench::{render, render_all, FIGURE_IDS};
+
+#[test]
+fn every_figure_renders_nonempty() {
+    for id in FIGURE_IDS {
+        let text = render(id).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert!(text.len() > 40, "{id} rendered only {} bytes", text.len());
+    }
+}
+
+#[test]
+fn unknown_id_is_an_error() {
+    assert!(render("fig99").is_err());
+}
+
+#[test]
+fn render_all_contains_every_id() {
+    let all = render_all();
+    for id in FIGURE_IDS {
+        assert!(all.contains(&format!("==================== {id} ")), "{id} missing");
+    }
+}
+
+/// Figure 2/3: DCPerf's projection error is far below SPEC's on the
+/// many-core SKU4 — the headline result.
+#[test]
+fn fig3_dcperf_is_most_accurate_on_sku4() {
+    let text = render("fig3").unwrap();
+    let row = |suite: &str| -> Vec<f64> {
+        text.lines()
+            .find(|l| l.starts_with(suite))
+            .unwrap_or_else(|| panic!("row {suite} missing in:\n{text}"))
+            .split_whitespace()
+            .filter_map(|tok| tok.trim_end_matches('%').parse::<f64>().ok())
+            .collect()
+    };
+    let dcperf = row("DCPerf");
+    let spec06 = row("SPEC 2006");
+    let spec17 = row("SPEC 2017");
+    // SKU4 is the last column.
+    let (d4, s06, s17) = (
+        dcperf.last().unwrap().abs(),
+        *spec06.last().unwrap(),
+        *spec17.last().unwrap(),
+    );
+    assert!(d4 < 8.0, "DCPerf SKU4 error {d4}% (paper: 3.3%)");
+    assert!(s06 > 10.0, "SPEC06 SKU4 error {s06}% (paper: 20.4%)");
+    assert!(s17 > s06, "SPEC17 must be worse than SPEC06 on SKU4");
+}
+
+/// Figure 5: SPEC has far fewer frontend stalls than datacenter
+/// workloads ("the SPEC benchmarks have a small codebase").
+#[test]
+fn fig5_spec_frontend_stalls_are_low() {
+    let text = render("fig5").unwrap();
+    let frontend = |suite: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with(suite))
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let prod = frontend("Prod");
+    let dcperf = frontend("DCPerf");
+    let spec = frontend("SPEC2017");
+    assert!(prod > spec + 8.0, "prod {prod} vs spec {spec}");
+    assert!(dcperf > spec + 8.0, "dcperf {dcperf} vs spec {spec}");
+    assert!((prod - dcperf).abs() < 8.0, "dcperf must track prod");
+}
+
+/// Figure 8: SPEC's L1-I MPKI is an order of magnitude below the web
+/// workloads'.
+#[test]
+fn fig8_spec_icache_misses_are_tiny() {
+    let text = render("fig8").unwrap();
+    let mpki = |workload: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with(workload))
+            .unwrap_or_else(|| panic!("{workload} missing"))
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(mpki("IG Web (prod)") > 40.0);
+    assert!(mpki("Cache (prod)") > 40.0);
+    assert!(mpki("505.mcf") < 10.0);
+    assert!(mpki("541.leela") < 10.0);
+}
+
+/// Figure 13: the three CloudSuite pathologies are present in the
+/// rendered curves.
+#[test]
+fn fig13_pathologies_render() {
+    let a = render("fig13a").unwrap();
+    assert!(a.contains("RPS falls on 176"));
+    let b = render("fig13b").unwrap();
+    // Errors appear in the sweep (nonzero error column near the bottom).
+    let has_errors = b
+        .lines()
+        .filter_map(|l| l.split_whitespace().nth(2))
+        .filter_map(|tok| tok.parse::<f64>().ok())
+        .any(|e| e > 0.0);
+    assert!(has_errors, "no 504s in:\n{b}");
+    let c = render("fig13c").unwrap();
+    assert!(c.contains("stuck ~20%"));
+}
+
+/// Figure 14: DCPerf picks SKU-A and rejects SKU-B.
+#[test]
+fn fig14_decides_the_arm_selection() {
+    let text = render("fig14").unwrap();
+    let dcperf_row = text
+        .lines()
+        .find(|l| l.starts_with("DCPerf "))
+        .expect("suite row");
+    let cells: Vec<f64> = dcperf_row
+        .split_whitespace()
+        .skip(1)
+        .map(|t| t.parse().unwrap())
+        .collect();
+    let (sku4, sku_a, sku_b) = (cells[0], cells[1], cells[2]);
+    assert!(sku_a > sku4, "SKU-A must win on Perf/Watt");
+    assert!(sku_b < sku4 * 0.7, "SKU-B must lose decisively");
+}
+
+/// Figure 15: large miss reductions, small app-level gains, no SPEC
+/// signal.
+#[test]
+fn fig15_vendor_optimization_shape() {
+    let text = render("fig15").unwrap();
+    assert!(text.contains("-36%"), "L1I reduction missing:\n{text}");
+    assert!(text.contains("-28%"), "L2 reduction missing");
+    // Both app-perf deltas are small single-digit positives: the first
+    // percentage token on each data row is the appPerf column.
+    let mut rows_checked = 0;
+    for line in text.lines().filter(|l| l.starts_with("FB Web") || l.starts_with("Mediawiki")) {
+        let app_perf = line
+            .split_whitespace()
+            .find(|t| t.ends_with('%'))
+            .and_then(|t| t.trim_end_matches('%').parse::<f64>().ok())
+            .unwrap_or_else(|| panic!("no appPerf token in: {line}"));
+        assert!((0.0..10.0).contains(&app_perf), "app perf {app_perf} out of band");
+        rows_checked += 1;
+    }
+    assert_eq!(rows_checked, 2, "both workloads must be reported");
+}
+
+/// Figure 16: kernel 6.9 matters at 384 cores, not at 176.
+#[test]
+fn fig16_kernel_upgrade_shape() {
+    let text = render("fig16").unwrap();
+    let cell = |sku: &str, kernel: &str| -> f64 {
+        text.lines()
+            .find(|l| l.contains(sku) && l.contains(kernel))
+            .unwrap()
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap()
+    };
+    let gain_176 = cell("176-core", "6.9") / cell("176-core", "6.4");
+    let gain_384 = cell("384-core", "6.9") / cell("384-core", "6.4");
+    assert!(gain_176 < 1.12, "176-core gain {gain_176}");
+    assert!(gain_384 > 1.3, "384-core gain {gain_384}");
+}
+
+/// Tables reproduce the published columns.
+#[test]
+fn tables_contain_published_values() {
+    let t3 = render("table3").unwrap();
+    for v in ["36", "52", "72", "176", "2018", "2023"] {
+        assert!(t3.contains(v), "table3 missing {v}");
+    }
+    let t4 = render("table4").unwrap();
+    assert!(t4.contains("175W") && t4.contains("275W"));
+    let t1 = render("table1").unwrap();
+    for v in ["TaoBench", "FeedSim", "SparkBench", "N(1M)", "N(100)"] {
+        assert!(t1.contains(v), "table1 missing {v}");
+    }
+    let t2 = render("table2").unwrap();
+    assert!(t2.contains("Memcached") && t2.contains("dcperf-kvstore"));
+}

@@ -1,0 +1,97 @@
+//! The framework-wide error type.
+
+use std::fmt;
+
+/// Errors produced by the DCPerf-RS framework and its benchmarks.
+#[derive(Debug)]
+pub enum Error {
+    /// An I/O operation failed (reading `/proc`, writing reports, …).
+    Io(std::io::Error),
+    /// A benchmark or suite was misconfigured.
+    Config(String),
+    /// A benchmark failed while running.
+    Benchmark {
+        /// Name of the failing benchmark.
+        name: String,
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// A benchmark could not meet its service-level objective at any load.
+    SloUnattainable {
+        /// Name of the failing benchmark.
+        name: String,
+        /// Description of the SLO that could not be met.
+        slo: String,
+    },
+    /// Serializing or deserializing a report failed.
+    Serialization(String),
+    /// A benchmark with the requested name is not registered.
+    UnknownBenchmark(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Benchmark { name, message } => {
+                write!(f, "benchmark '{name}' failed: {message}")
+            }
+            Error::SloUnattainable { name, slo } => {
+                write!(f, "benchmark '{name}' cannot meet SLO: {slo}")
+            }
+            Error::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            Error::UnknownBenchmark(name) => write!(f, "unknown benchmark '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Self {
+        Error::Serialization(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Benchmark {
+            name: "taobench".into(),
+            message: "server refused to start".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("taobench"));
+        assert!(s.contains("server refused"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error as _;
+        let e = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,886 @@
+//! The extensible hooks framework.
+//!
+//! DCPerf "is designed as an extensible framework through plugins called
+//! hooks. New hooks for monitoring additional performance metrics can be
+//! easily added" (§3.1). A [`Hook`] produces named time series sampled on a
+//! fixed interval while a benchmark runs; the [`HookManager`] owns the
+//! sampler thread and assembles [`HookReport`]s when the run ends.
+//!
+//! Built-in hooks mirror the paper's list: CPU utilization with user/system
+//! breakdown ([`CpuUtilHook`]), memory ([`MemStatHook`]), network
+//! ([`NetStatHook`]), core frequency ([`CpuFreqHook`]), power
+//! ([`PowerHook`]), top-down microarchitecture metrics ([`TopdownHook`]),
+//! and the execution-support [`CopyMoveHook`].
+//!
+//! Hardware counters and board sensors are not portably readable from an
+//! unprivileged process, so [`PowerHook`] and [`TopdownHook`] accept a
+//! *provider* closure — in DCPerf-RS the workloads wire the calibrated
+//! platform model in as the provider, and on hosts that expose RAPL the
+//! power hook reads `/sys/class/powercap` directly.
+
+use dcperf_util::RunningStats;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One named, sampled series with summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TimeSeries {
+    /// Unit label, e.g. `"percent"`, `"GHz"`, `"watts"`.
+    pub unit: String,
+    /// Milliseconds since hook start for each sample.
+    pub timestamps_ms: Vec<u64>,
+    /// The sampled values.
+    pub values: Vec<f64>,
+    /// Mean of `values` (0.0 when empty).
+    pub mean: f64,
+    /// Minimum of `values` (0.0 when empty).
+    pub min: f64,
+    /// Maximum of `values` (0.0 when empty).
+    pub max: f64,
+}
+
+impl TimeSeries {
+    fn finalize(&mut self) {
+        let mut stats = RunningStats::new();
+        for &v in &self.values {
+            stats.push(v);
+        }
+        self.mean = stats.mean();
+        self.min = stats.min();
+        self.max = stats.max();
+    }
+}
+
+/// The output of one hook for one benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HookReport {
+    /// Hook name.
+    pub hook: String,
+    /// Series keyed by name (e.g. `"cpu_util_total"`).
+    pub series: std::collections::BTreeMap<String, TimeSeries>,
+    /// Free-form notes (e.g. files moved by [`CopyMoveHook`]).
+    pub notes: Vec<String>,
+}
+
+/// A sampled measurement: `(series name, unit, value)`.
+pub type Sample = (String, &'static str, f64);
+
+/// A monitoring plugin.
+///
+/// Implementations are polled on the configured interval from a dedicated
+/// sampler thread; each returned [`Sample`] is appended to the series of
+/// the same name.
+pub trait Hook: Send {
+    /// Stable hook name.
+    fn name(&self) -> &str;
+
+    /// Called once when sampling starts.
+    fn on_start(&mut self) {}
+
+    /// Takes one round of samples. May return an empty vector if the
+    /// underlying source is unavailable.
+    fn sample(&mut self) -> Vec<Sample>;
+
+    /// Called once when sampling stops; may return notes for the report.
+    fn on_stop(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// Owns registered hooks and the background sampler thread.
+#[derive(Default)]
+pub struct HookManager {
+    pending: Vec<Box<dyn Hook>>,
+    runner: Option<SamplerHandle>,
+    finished: Vec<HookReport>,
+}
+
+impl std::fmt::Debug for HookManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HookManager")
+            .field("pending_hooks", &self.pending.len())
+            .field("running", &self.runner.is_some())
+            .field("finished_reports", &self.finished.len())
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for SamplerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamplerHandle").finish_non_exhaustive()
+    }
+}
+
+struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<Vec<HookReport>>,
+}
+
+impl HookManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a hook. Must be called before [`HookManager::start`].
+    pub fn register(&mut self, hook: Box<dyn Hook>) {
+        self.pending.push(hook);
+    }
+
+    /// Registers the default monitoring set (CPU, memory, network,
+    /// frequency).
+    pub fn register_defaults(&mut self) {
+        self.register(Box::new(CpuUtilHook::new()));
+        self.register(Box::new(MemStatHook::new()));
+        self.register(Box::new(NetStatHook::new()));
+        self.register(Box::new(CpuFreqHook::new()));
+    }
+
+    /// Starts the sampler thread with the given interval. No-op if no hooks
+    /// are registered or sampling is already running.
+    pub fn start(&mut self, interval: Duration) {
+        if self.pending.is_empty() || self.runner.is_some() {
+            return;
+        }
+        let mut hooks = std::mem::take(&mut self.pending);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("dcperf-hooks".into())
+            .spawn(move || {
+                let started = Instant::now();
+                for h in &mut hooks {
+                    h.on_start();
+                }
+                let mut series_by_hook: Vec<
+                    std::collections::BTreeMap<String, TimeSeries>,
+                > = (0..hooks.len()).map(|_| Default::default()).collect();
+                loop {
+                    let t_ms = started.elapsed().as_millis() as u64;
+                    for (h, store) in hooks.iter_mut().zip(series_by_hook.iter_mut()) {
+                        for (name, unit, value) in h.sample() {
+                            let ts = store.entry(name).or_insert_with(|| TimeSeries {
+                                unit: unit.to_owned(),
+                                ..Default::default()
+                            });
+                            ts.timestamps_ms.push(t_ms);
+                            ts.values.push(value);
+                        }
+                    }
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                }
+                hooks
+                    .iter_mut()
+                    .zip(series_by_hook)
+                    .map(|(h, mut series)| {
+                        for ts in series.values_mut() {
+                            ts.finalize();
+                        }
+                        HookReport {
+                            hook: h.name().to_owned(),
+                            series,
+                            notes: h.on_stop(),
+                        }
+                    })
+                    .collect()
+            })
+            .expect("failed to spawn hook sampler thread");
+        self.runner = Some(SamplerHandle { stop, join });
+    }
+
+    /// Stops the sampler thread, if running, and stores its reports.
+    pub fn stop(&mut self) {
+        if let Some(handle) = self.runner.take() {
+            handle.stop.store(true, Ordering::Relaxed);
+            if let Ok(mut reports) = handle.join.join() {
+                self.finished.append(&mut reports);
+            }
+        }
+    }
+
+    /// Stops sampling and returns every accumulated [`HookReport`].
+    pub fn drain_reports(&mut self) -> Vec<HookReport> {
+        self.stop();
+        std::mem::take(&mut self.finished)
+    }
+}
+
+impl Drop for HookManager {
+    fn drop(&mut self) {
+        // Never leave the sampler thread running; ignore its output.
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in hooks
+// ---------------------------------------------------------------------------
+
+/// CPU utilization from `/proc/stat`: total busy % and system (kernel+IRQ) %.
+///
+/// Mirrors DCPerf's "total CPU utilization and breakdowns, such as the
+/// percentage of cycles spent in user space, kernel and IRQs".
+#[derive(Debug, Default)]
+pub struct CpuUtilHook {
+    last: Option<CpuTimes>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CpuTimes {
+    user: u64,
+    nice: u64,
+    system: u64,
+    idle: u64,
+    iowait: u64,
+    irq: u64,
+    softirq: u64,
+}
+
+impl CpuTimes {
+    fn read() -> Option<Self> {
+        let stat = std::fs::read_to_string("/proc/stat").ok()?;
+        let line = stat.lines().next()?;
+        let mut it = line.split_whitespace();
+        if it.next()? != "cpu" {
+            return None;
+        }
+        let mut f = || it.next().and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+        Some(Self {
+            user: f(),
+            nice: f(),
+            system: f(),
+            idle: f(),
+            iowait: f(),
+            irq: f(),
+            softirq: f(),
+        })
+    }
+
+    fn busy(&self) -> u64 {
+        self.user + self.nice + self.system + self.irq + self.softirq
+    }
+
+    fn sys(&self) -> u64 {
+        self.system + self.irq + self.softirq
+    }
+
+    fn total(&self) -> u64 {
+        self.busy() + self.idle + self.iowait
+    }
+}
+
+impl CpuUtilHook {
+    /// Creates the hook.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Hook for CpuUtilHook {
+    fn name(&self) -> &str {
+        "cpu_util"
+    }
+
+    fn on_start(&mut self) {
+        self.last = CpuTimes::read();
+    }
+
+    fn sample(&mut self) -> Vec<Sample> {
+        let Some(now) = CpuTimes::read() else {
+            return Vec::new();
+        };
+        let Some(prev) = self.last.replace(now) else {
+            return Vec::new();
+        };
+        let dt = now.total().saturating_sub(prev.total());
+        if dt == 0 {
+            return Vec::new();
+        }
+        let busy = now.busy().saturating_sub(prev.busy()) as f64 / dt as f64 * 100.0;
+        let sys = now.sys().saturating_sub(prev.sys()) as f64 / dt as f64 * 100.0;
+        vec![
+            ("cpu_util_total".into(), "percent", busy),
+            ("cpu_util_sys".into(), "percent", sys),
+        ]
+    }
+}
+
+/// Memory usage from `/proc/meminfo` (used MB, swap-used MB).
+#[derive(Debug, Default)]
+pub struct MemStatHook;
+
+impl MemStatHook {
+    /// Creates the hook.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+fn meminfo_kb(field: &str, text: &str) -> Option<u64> {
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            return rest
+                .trim_start_matches(':')
+                .trim()
+                .trim_end_matches(" kB")
+                .trim()
+                .parse()
+                .ok();
+        }
+    }
+    None
+}
+
+impl Hook for MemStatHook {
+    fn name(&self) -> &str {
+        "mem_stat"
+    }
+
+    fn sample(&mut self) -> Vec<Sample> {
+        let Ok(text) = std::fs::read_to_string("/proc/meminfo") else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        if let (Some(total), Some(avail)) = (
+            meminfo_kb("MemTotal", &text),
+            meminfo_kb("MemAvailable", &text),
+        ) {
+            out.push((
+                "mem_used_mb".into(),
+                "MB",
+                (total.saturating_sub(avail)) as f64 / 1024.0,
+            ));
+        }
+        if let (Some(total), Some(free)) = (
+            meminfo_kb("SwapTotal", &text),
+            meminfo_kb("SwapFree", &text),
+        ) {
+            out.push((
+                "swap_used_mb".into(),
+                "MB",
+                (total.saturating_sub(free)) as f64 / 1024.0,
+            ));
+        }
+        out
+    }
+}
+
+/// Network traffic from `/proc/net/dev`, reported as deltas in bytes/s and
+/// packets/s aggregated across interfaces.
+#[derive(Debug, Default)]
+pub struct NetStatHook {
+    last: Option<(Instant, NetTotals)>,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct NetTotals {
+    rx_bytes: u64,
+    tx_bytes: u64,
+    rx_packets: u64,
+    tx_packets: u64,
+}
+
+impl NetTotals {
+    fn read() -> Option<Self> {
+        let text = std::fs::read_to_string("/proc/net/dev").ok()?;
+        let mut totals = NetTotals::default();
+        for line in text.lines().skip(2) {
+            let Some((_iface, rest)) = line.split_once(':') else {
+                continue;
+            };
+            let fields: Vec<u64> = rest
+                .split_whitespace()
+                .map(|f| f.parse().unwrap_or(0))
+                .collect();
+            if fields.len() >= 16 {
+                totals.rx_bytes += fields[0];
+                totals.rx_packets += fields[1];
+                totals.tx_bytes += fields[8];
+                totals.tx_packets += fields[9];
+            }
+        }
+        Some(totals)
+    }
+}
+
+impl NetStatHook {
+    /// Creates the hook.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Hook for NetStatHook {
+    fn name(&self) -> &str {
+        "net_stat"
+    }
+
+    fn on_start(&mut self) {
+        self.last = NetTotals::read().map(|t| (Instant::now(), t));
+    }
+
+    fn sample(&mut self) -> Vec<Sample> {
+        let Some(now) = NetTotals::read() else {
+            return Vec::new();
+        };
+        let t_now = Instant::now();
+        let Some((t_prev, prev)) = self.last.replace((t_now, now)) else {
+            return Vec::new();
+        };
+        let dt = t_now.duration_since(t_prev).as_secs_f64();
+        if dt <= 0.0 {
+            return Vec::new();
+        }
+        vec![
+            (
+                "net_rx_bytes_per_sec".into(),
+                "B/s",
+                now.rx_bytes.saturating_sub(prev.rx_bytes) as f64 / dt,
+            ),
+            (
+                "net_tx_bytes_per_sec".into(),
+                "B/s",
+                now.tx_bytes.saturating_sub(prev.tx_bytes) as f64 / dt,
+            ),
+            (
+                "net_rx_packets_per_sec".into(),
+                "pkt/s",
+                now.rx_packets.saturating_sub(prev.rx_packets) as f64 / dt,
+            ),
+            (
+                "net_tx_packets_per_sec".into(),
+                "pkt/s",
+                now.tx_packets.saturating_sub(prev.tx_packets) as f64 / dt,
+            ),
+        ]
+    }
+}
+
+/// CPU core frequency as reported in sysfs
+/// (`/sys/devices/system/cpu/cpu*/cpufreq/scaling_cur_freq`), averaged
+/// across cores and reported in GHz.
+#[derive(Debug, Default)]
+pub struct CpuFreqHook {
+    paths: Vec<std::path::PathBuf>,
+}
+
+impl CpuFreqHook {
+    /// Creates the hook.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Hook for CpuFreqHook {
+    fn name(&self) -> &str {
+        "cpu_freq"
+    }
+
+    fn on_start(&mut self) {
+        let Ok(entries) = std::fs::read_dir("/sys/devices/system/cpu") else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path().join("cpufreq/scaling_cur_freq");
+            if path.exists() {
+                self.paths.push(path);
+            }
+        }
+    }
+
+    fn sample(&mut self) -> Vec<Sample> {
+        if self.paths.is_empty() {
+            return Vec::new();
+        }
+        let mut sum_khz = 0u64;
+        let mut n = 0u64;
+        for path in &self.paths {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                if let Ok(khz) = text.trim().parse::<u64>() {
+                    sum_khz += khz;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            return Vec::new();
+        }
+        vec![(
+            "core_freq_ghz".into(),
+            "GHz",
+            sum_khz as f64 / n as f64 / 1e6,
+        )]
+    }
+}
+
+/// A provider of out-of-band samples, used by [`PowerHook`] and
+/// [`TopdownHook`] where hardware counters are not portably accessible.
+pub type SampleProvider = Box<dyn FnMut() -> Vec<(String, f64)> + Send>;
+
+/// Power consumption. Reads Intel RAPL (`/sys/class/powercap`) when
+/// available; otherwise falls back to an injected model provider (DCPerf-RS
+/// wires the platform power model here).
+pub struct PowerHook {
+    rapl: Vec<(std::path::PathBuf, Option<u64>)>,
+    last_t: Option<Instant>,
+    provider: Option<SampleProvider>,
+}
+
+impl std::fmt::Debug for PowerHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PowerHook")
+            .field("rapl_domains", &self.rapl.len())
+            .field("has_provider", &self.provider.is_some())
+            .finish()
+    }
+}
+
+impl PowerHook {
+    /// Creates a hook reading RAPL only.
+    pub fn new() -> Self {
+        Self {
+            rapl: Vec::new(),
+            last_t: None,
+            provider: None,
+        }
+    }
+
+    /// Creates a hook with a fallback model provider.
+    pub fn with_provider(provider: SampleProvider) -> Self {
+        Self {
+            provider: Some(provider),
+            ..Self::new()
+        }
+    }
+}
+
+impl Default for PowerHook {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hook for PowerHook {
+    fn name(&self) -> &str {
+        "power"
+    }
+
+    fn on_start(&mut self) {
+        if let Ok(entries) = std::fs::read_dir("/sys/class/powercap") {
+            for entry in entries.flatten() {
+                let path = entry.path().join("energy_uj");
+                if path.exists() {
+                    self.rapl.push((path, None));
+                }
+            }
+        }
+        self.last_t = Some(Instant::now());
+    }
+
+    fn sample(&mut self) -> Vec<Sample> {
+        let now = Instant::now();
+        let dt = self
+            .last_t
+            .replace(now)
+            .map(|t| now.duration_since(t).as_secs_f64())
+            .unwrap_or(0.0);
+        let mut out = Vec::new();
+        if dt > 0.0 {
+            let mut total_uj = 0u64;
+            let mut have = false;
+            for (path, last) in &mut self.rapl {
+                if let Ok(text) = std::fs::read_to_string(&*path) {
+                    if let Ok(uj) = text.trim().parse::<u64>() {
+                        if let Some(prev) = last.replace(uj) {
+                            total_uj += uj.saturating_sub(prev);
+                            have = true;
+                        }
+                    }
+                }
+            }
+            if have {
+                out.push((
+                    "power_rapl_watts".into(),
+                    "W",
+                    total_uj as f64 / 1e6 / dt,
+                ));
+            }
+        }
+        if let Some(provider) = &mut self.provider {
+            for (name, value) in provider() {
+                out.push((name, "W", value));
+            }
+        }
+        out
+    }
+}
+
+/// Top-down microarchitecture metrics.
+///
+/// Real DCPerf programs PMU counters; from an unprivileged process that is
+/// not portable, so this hook samples an injected provider (the platform
+/// model, or a perf-wrapper if the deployment has one).
+pub struct TopdownHook {
+    provider: SampleProvider,
+}
+
+impl std::fmt::Debug for TopdownHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopdownHook").finish_non_exhaustive()
+    }
+}
+
+impl TopdownHook {
+    /// Creates the hook around a sample provider.
+    pub fn new(provider: SampleProvider) -> Self {
+        Self { provider }
+    }
+}
+
+impl Hook for TopdownHook {
+    fn name(&self) -> &str {
+        "topdown"
+    }
+
+    fn sample(&mut self) -> Vec<Sample> {
+        (self.provider)()
+            .into_iter()
+            .map(|(name, v)| (name, "percent", v))
+            .collect()
+    }
+}
+
+/// Copies or moves files (e.g. logs with time-series data) into a
+/// per-run folder when the benchmark finishes, "ensuring long-term data
+/// preservation and enabling post-analysis" (§3.1).
+#[derive(Debug)]
+pub struct CopyMoveHook {
+    sources: Vec<std::path::PathBuf>,
+    dest_dir: std::path::PathBuf,
+    remove_source: bool,
+}
+
+impl CopyMoveHook {
+    /// Creates a hook that copies `sources` into `dest_dir` at run end.
+    pub fn copy(
+        sources: Vec<std::path::PathBuf>,
+        dest_dir: std::path::PathBuf,
+    ) -> Self {
+        Self {
+            sources,
+            dest_dir,
+            remove_source: false,
+        }
+    }
+
+    /// Creates a hook that moves `sources` into `dest_dir` at run end.
+    pub fn r#move(
+        sources: Vec<std::path::PathBuf>,
+        dest_dir: std::path::PathBuf,
+    ) -> Self {
+        Self {
+            sources,
+            dest_dir,
+            remove_source: true,
+        }
+    }
+}
+
+impl Hook for CopyMoveHook {
+    fn name(&self) -> &str {
+        "copy_move"
+    }
+
+    fn sample(&mut self) -> Vec<Sample> {
+        Vec::new()
+    }
+
+    fn on_stop(&mut self) -> Vec<String> {
+        let mut notes = Vec::new();
+        if std::fs::create_dir_all(&self.dest_dir).is_err() {
+            notes.push(format!(
+                "copy_move: could not create {}",
+                self.dest_dir.display()
+            ));
+            return notes;
+        }
+        for src in &self.sources {
+            let Some(file_name) = src.file_name() else {
+                continue;
+            };
+            let dst = self.dest_dir.join(file_name);
+            let outcome = std::fs::copy(src, &dst).and_then(|_| {
+                if self.remove_source {
+                    std::fs::remove_file(src)
+                } else {
+                    Ok(())
+                }
+            });
+            match outcome {
+                Ok(()) => notes.push(format!(
+                    "{} {} -> {}",
+                    if self.remove_source { "moved" } else { "copied" },
+                    src.display(),
+                    dst.display()
+                )),
+                Err(e) => notes.push(format!("failed {}: {e}", src.display())),
+            }
+        }
+        notes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic in-memory hook for framework tests.
+    #[derive(Debug, Default)]
+    struct CountingHook {
+        n: u64,
+    }
+
+    impl Hook for CountingHook {
+        fn name(&self) -> &str {
+            "counting"
+        }
+
+        fn sample(&mut self) -> Vec<Sample> {
+            self.n += 1;
+            vec![("count".into(), "n", self.n as f64)]
+        }
+
+        fn on_stop(&mut self) -> Vec<String> {
+            vec![format!("sampled {} times", self.n)]
+        }
+    }
+
+    #[test]
+    fn manager_collects_series_and_notes() {
+        let mut mgr = HookManager::new();
+        mgr.register(Box::new(CountingHook::default()));
+        mgr.start(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(40));
+        let reports = mgr.drain_reports();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.hook, "counting");
+        let series = r.series.get("count").expect("series recorded");
+        assert!(series.values.len() >= 2, "got {} samples", series.values.len());
+        assert_eq!(series.values[0], 1.0);
+        assert!(series.mean >= 1.0);
+        assert_eq!(r.notes.len(), 1);
+    }
+
+    #[test]
+    fn drain_twice_is_empty_second_time() {
+        let mut mgr = HookManager::new();
+        mgr.register(Box::new(CountingHook::default()));
+        mgr.start(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(!mgr.drain_reports().is_empty());
+        assert!(mgr.drain_reports().is_empty());
+    }
+
+    #[test]
+    fn start_without_hooks_is_noop() {
+        let mut mgr = HookManager::new();
+        mgr.start(Duration::from_millis(5));
+        assert!(mgr.drain_reports().is_empty());
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let mut mgr = HookManager::new();
+        mgr.register(Box::new(CountingHook::default()));
+        mgr.stop();
+        assert!(mgr.drain_reports().is_empty());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn cpu_util_hook_samples_on_linux() {
+        let mut hook = CpuUtilHook::new();
+        hook.on_start();
+        std::thread::sleep(Duration::from_millis(30));
+        // Burn a little CPU so the delta is non-degenerate.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let samples = hook.sample();
+        assert!(
+            samples.iter().any(|(n, _, v)| n == "cpu_util_total" && *v >= 0.0),
+            "samples: {samples:?}"
+        );
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn mem_stat_hook_samples_on_linux() {
+        let mut hook = MemStatHook::new();
+        let samples = hook.sample();
+        assert!(samples.iter().any(|(n, _, v)| n == "mem_used_mb" && *v > 0.0));
+    }
+
+    #[test]
+    fn copy_move_hook_copies_files() {
+        let dir = std::env::temp_dir().join(format!("dcperf-hook-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("log.txt");
+        std::fs::write(&src, "hello").unwrap();
+        let dest = dir.join("archive");
+        let mut hook = CopyMoveHook::copy(vec![src.clone()], dest.clone());
+        let notes = hook.on_stop();
+        assert!(notes[0].starts_with("copied"), "{notes:?}");
+        assert_eq!(std::fs::read_to_string(dest.join("log.txt")).unwrap(), "hello");
+        assert!(src.exists(), "copy must preserve the source");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn copy_move_hook_moves_files() {
+        let dir =
+            std::env::temp_dir().join(format!("dcperf-hook-move-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("ts.json");
+        std::fs::write(&src, "{}").unwrap();
+        let dest = dir.join("runs");
+        let mut hook = CopyMoveHook::r#move(vec![src.clone()], dest.clone());
+        let _ = hook.on_stop();
+        assert!(!src.exists(), "move must remove the source");
+        assert!(dest.join("ts.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn topdown_hook_forwards_provider_samples() {
+        let mut hook = TopdownHook::new(Box::new(|| {
+            vec![("topdown_frontend".into(), 33.0), ("topdown_retiring".into(), 45.0)]
+        }));
+        let samples = hook.sample();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].0, "topdown_frontend");
+        assert_eq!(samples[0].2, 33.0);
+    }
+
+    #[test]
+    fn power_hook_uses_provider_fallback() {
+        let mut hook = PowerHook::with_provider(Box::new(|| {
+            vec![("power_model_watts".into(), 212.5)]
+        }));
+        hook.on_start();
+        let samples = hook.sample();
+        assert!(samples
+            .iter()
+            .any(|(n, _, v)| n == "power_model_watts" && *v == 212.5));
+    }
+}

@@ -1,0 +1,172 @@
+//! Normalized scoring.
+//!
+//! "The score of an individual benchmark is defined as its application
+//! metric (such as RPS) normalized to that on SKU1" and "DCPerf reports the
+//! overall score, which is the geometric mean of all benchmark's scores"
+//! (§3.1/§4.1). [`BaselineTable`] plays the role of the calibrated baseline
+//! machine; [`ScoreCard`] holds the normalized results.
+
+use dcperf_util::geometric_mean;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The baseline machine's metric values, keyed by benchmark name.
+///
+/// A score of 1.0 means "performs like the baseline machine".
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BaselineTable {
+    entries: BTreeMap<String, BaselineEntry>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BaselineEntry {
+    metric: String,
+    value: f64,
+}
+
+impl BaselineTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the baseline for `benchmark`: the `metric` name to score on and
+    /// the baseline machine's `value` for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite and positive — a baseline of zero
+    /// would make every score infinite.
+    pub fn set(&mut self, benchmark: &str, metric: &str, value: f64) {
+        assert!(
+            value.is_finite() && value > 0.0,
+            "baseline for '{benchmark}' must be finite and positive, got {value}"
+        );
+        self.entries.insert(
+            benchmark.to_owned(),
+            BaselineEntry {
+                metric: metric.to_owned(),
+                value,
+            },
+        );
+    }
+
+    /// Returns the `(metric, value)` baseline for `benchmark`, if set.
+    pub fn get(&self, benchmark: &str) -> Option<(&str, f64)> {
+        self.entries
+            .get(benchmark)
+            .map(|e| (e.metric.as_str(), e.value))
+    }
+
+    /// Computes `measured / baseline` for `benchmark`. Returns `None` when
+    /// no baseline is registered.
+    pub fn score(&self, benchmark: &str, measured: f64) -> Option<f64> {
+        self.get(benchmark).map(|(_, base)| measured / base)
+    }
+
+    /// Number of registered baselines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Normalized per-benchmark scores plus the suite-level geometric mean.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScoreCard {
+    scores: BTreeMap<String, f64>,
+}
+
+impl ScoreCard {
+    /// Creates an empty score card.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a benchmark's normalized score.
+    pub fn insert(&mut self, benchmark: &str, score: f64) {
+        self.scores.insert(benchmark.to_owned(), score);
+    }
+
+    /// A benchmark's score, if recorded.
+    pub fn get(&self, benchmark: &str) -> Option<f64> {
+        self.scores.get(benchmark).copied()
+    }
+
+    /// Iterates `(benchmark, score)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.scores.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The overall score: geometric mean of all recorded scores, or 0.0
+    /// when empty.
+    pub fn overall(&self) -> f64 {
+        let values: Vec<f64> = self.scores.values().copied().collect();
+        geometric_mean(&values).unwrap_or(0.0)
+    }
+
+    /// Number of scored benchmarks.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether no scores are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_is_ratio_to_baseline() {
+        let mut t = BaselineTable::new();
+        t.set("taobench", "requests_per_second", 200.0);
+        assert_eq!(t.score("taobench", 300.0), Some(1.5));
+        assert_eq!(t.score("unknown", 300.0), None);
+        assert_eq!(t.get("taobench"), Some(("requests_per_second", 200.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_baseline_rejected() {
+        BaselineTable::new().set("x", "m", 0.0);
+    }
+
+    #[test]
+    fn overall_is_geomean() {
+        let mut card = ScoreCard::new();
+        card.insert("a", 1.0);
+        card.insert("b", 4.0);
+        assert!((card.overall() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_card_scores_zero() {
+        assert_eq!(ScoreCard::new().overall(), 0.0);
+    }
+
+    #[test]
+    fn card_iterates_in_name_order() {
+        let mut card = ScoreCard::new();
+        card.insert("zeta", 2.0);
+        card.insert("alpha", 1.0);
+        let names: Vec<&str> = card.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn baseline_table_round_trips_json() {
+        let mut t = BaselineTable::new();
+        t.set("feedsim", "requests_per_second", 42.0);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: BaselineTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

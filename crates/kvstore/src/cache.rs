@@ -1,0 +1,305 @@
+//! The sharded, read-through cache.
+
+use crate::shard::Shard;
+use crate::stats::CacheStats;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Cache sizing and sharding configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total charged capacity across all shards.
+    pub capacity_bytes: usize,
+    /// Number of independent shards (rounded up to a power of two).
+    pub shards: usize,
+    /// Default TTL applied by [`Cache::set`] when none is given, in
+    /// milliseconds; `None` disables expiry.
+    pub default_ttl_ms: Option<u64>,
+}
+
+impl CacheConfig {
+    /// A configuration with the given capacity and a shard count suited to
+    /// the host's parallelism.
+    pub fn with_capacity_bytes(capacity_bytes: usize) -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self {
+            capacity_bytes,
+            shards: (parallelism * 4).next_power_of_two(),
+            default_ttl_ms: None,
+        }
+    }
+
+    /// Overrides the shard count (builder style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1).next_power_of_two();
+        self
+    }
+
+    /// Sets the default TTL (builder style).
+    pub fn with_default_ttl_ms(mut self, ttl_ms: u64) -> Self {
+        self.default_ttl_ms = Some(ttl_ms);
+        self
+    }
+}
+
+/// A concurrent, sharded LRU cache with read-through fills.
+///
+/// See the [crate-level documentation](crate) for the architectural
+/// rationale and an example.
+pub struct Cache {
+    shards: Vec<Mutex<Shard>>,
+    mask: u64,
+    stats: CacheStats,
+    default_ttl_ms: Option<u64>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Creates a cache from `config`.
+    pub fn new(config: CacheConfig) -> Self {
+        let shard_count = config.shards.max(1).next_power_of_two();
+        let per_shard = (config.capacity_bytes / shard_count).max(1);
+        Self {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            mask: (shard_count - 1) as u64,
+            stats: CacheStats::new(),
+            default_ttl_ms: config.default_ttl_ms,
+            epoch: Instant::now(),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn shard_for(&self, key: &[u8]) -> &Mutex<Shard> {
+        // FNV-1a over the key selects the shard.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Looks up `key` without filling on a miss.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let now = self.now_ms();
+        let result = self.shard_for(key).lock().get(key, now);
+        match &result {
+            Some(_) => self.stats.record_hit(),
+            None => self.stats.record_miss(),
+        }
+        result
+    }
+
+    /// The read-through lookup: on a miss, `loader` fetches the value from
+    /// the backing system *outside* any shard lock and the result is
+    /// inserted before being returned.
+    ///
+    /// Concurrent misses on the same key may each invoke `loader`
+    /// (thundering herd), matching Memcached-style caches that do not
+    /// serialize fills.
+    pub fn get_or_load<F>(&self, key: &[u8], loader: F) -> Option<Vec<u8>>
+    where
+        F: FnOnce(&[u8]) -> Option<Vec<u8>>,
+    {
+        let now = self.now_ms();
+        if let Some(hit) = self.shard_for(key).lock().get(key, now) {
+            self.stats.record_hit();
+            return Some(hit);
+        }
+        self.stats.record_miss();
+        match loader(key) {
+            Some(value) => {
+                let evicted =
+                    self.shard_for(key)
+                        .lock()
+                        .insert(key, value.clone(), self.default_ttl_ms, now);
+                self.stats.record_insertion(evicted);
+                Some(value)
+            }
+            None => {
+                self.stats.record_load_failure();
+                None
+            }
+        }
+    }
+
+    /// Inserts `key` with the default TTL.
+    pub fn set(&self, key: &[u8], value: Vec<u8>) {
+        self.set_with_ttl(key, value, self.default_ttl_ms);
+    }
+
+    /// Inserts `key` with an explicit TTL (`None` = no expiry).
+    pub fn set_with_ttl(&self, key: &[u8], value: Vec<u8>, ttl_ms: Option<u64>) {
+        let now = self.now_ms();
+        let evicted = self.shard_for(key).lock().insert(key, value, ttl_ms, now);
+        self.stats.record_insertion(evicted);
+    }
+
+    /// Removes `key`, returning whether it was present.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.shard_for(key).lock().remove(key)
+    }
+
+    /// Total live entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total charged bytes across shards.
+    pub fn used_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().used_bytes()).sum()
+    }
+
+    /// Shared counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn small_cache() -> Cache {
+        Cache::new(CacheConfig::with_capacity_bytes(1 << 20).with_shards(4))
+    }
+
+    #[test]
+    fn get_set_delete() {
+        let c = small_cache();
+        assert!(c.get(b"k").is_none());
+        c.set(b"k", vec![9]);
+        assert_eq!(c.get(b"k"), Some(vec![9]));
+        assert!(c.delete(b"k"));
+        assert!(c.get(b"k").is_none());
+    }
+
+    #[test]
+    fn read_through_fills_once() {
+        let c = small_cache();
+        let loads = AtomicU64::new(0);
+        for _ in 0..10 {
+            let v = c.get_or_load(b"key", |_| {
+                loads.fetch_add(1, Ordering::Relaxed);
+                Some(vec![1, 2, 3])
+            });
+            assert_eq!(v, Some(vec![1, 2, 3]));
+        }
+        assert_eq!(loads.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stats().hits(), 9);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn loader_failure_counts() {
+        let c = small_cache();
+        assert!(c.get_or_load(b"gone", |_| None).is_none());
+        assert_eq!(c.stats().load_failures(), 1);
+        // A later successful load still works.
+        assert!(c.get_or_load(b"gone", |_| Some(vec![1])).is_some());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let c = Cache::new(CacheConfig::with_capacity_bytes(1024).with_shards(5));
+        assert_eq!(c.shard_count(), 8);
+    }
+
+    #[test]
+    fn default_ttl_applies() {
+        let c = Cache::new(
+            CacheConfig::with_capacity_bytes(1 << 16)
+                .with_shards(1)
+                .with_default_ttl_ms(1),
+        );
+        c.set(b"k", vec![1]);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(c.get(b"k").is_none(), "entry should have expired");
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        let c = Arc::new(Cache::new(
+            CacheConfig::with_capacity_bytes(1 << 22).with_shards(8),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    let key = ((t * 1000 + i) % 500).to_le_bytes();
+                    match i % 3 {
+                        0 => c.set(&key, key.to_vec()),
+                        1 => {
+                            if let Some(v) = c.get(&key) {
+                                assert_eq!(v, key.to_vec(), "value corruption");
+                            }
+                        }
+                        _ => {
+                            let v = c.get_or_load(&key, |k| Some(k.to_vec()));
+                            assert_eq!(v, Some(key.to_vec()));
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 500);
+    }
+
+    #[test]
+    fn eviction_under_pressure() {
+        let c = Cache::new(CacheConfig::with_capacity_bytes(16 << 10).with_shards(2));
+        for i in 0..1000u32 {
+            c.set(&i.to_le_bytes(), vec![0; 64]);
+        }
+        assert!(c.stats().evictions() > 0);
+        assert!(c.used_bytes() <= (16 << 10) + 2 * 200);
+    }
+
+    #[test]
+    fn hit_rate_reflects_working_set_vs_capacity() {
+        // Working set fits: hit rate should approach 1 after warmup.
+        let c = Cache::new(CacheConfig::with_capacity_bytes(1 << 20).with_shards(2));
+        for round in 0..10 {
+            for i in 0..100u32 {
+                let _ = c.get_or_load(&i.to_le_bytes(), |_| Some(vec![0; 32]));
+            }
+            if round == 0 {
+                // After the first pass every lookup was a miss.
+                assert_eq!(c.stats().misses(), 100);
+            }
+        }
+        assert!(c.stats().hit_rate() > 0.85, "rate={}", c.stats().hit_rate());
+    }
+}

@@ -1,0 +1,349 @@
+//! A single LRU shard: hash map + intrusive recency list over a slab.
+//!
+//! Kept lock-free internally; [`Cache`](crate::Cache) wraps each shard in
+//! its own mutex so independent keys proceed in parallel, which is what
+//! lets the cache scale on many-core machines (the scalability property
+//! CloudSuite's data-caching benchmark lacks, per §4.6 of the paper).
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+/// Fixed per-entry bookkeeping charge (slab links, map entry, TTL),
+/// approximating a production cache's metadata overhead.
+const ENTRY_OVERHEAD: usize = 64;
+
+#[derive(Debug)]
+struct Entry {
+    key: Box<[u8]>,
+    value: Vec<u8>,
+    expires_at_ms: Option<u64>,
+    prev: u32,
+    next: u32,
+}
+
+/// An LRU map with byte-based capacity accounting and optional TTLs.
+///
+/// All time parameters are milliseconds on a caller-provided clock, which
+/// keeps the shard deterministic under test.
+#[derive(Debug)]
+pub struct Shard {
+    map: HashMap<Box<[u8]>, u32>,
+    slab: Vec<Entry>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    used_bytes: usize,
+    capacity_bytes: usize,
+    evictions: u64,
+    expirations: u64,
+}
+
+impl Shard {
+    /// Creates a shard bounded to `capacity_bytes` of charged data.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            used_bytes: 0,
+            capacity_bytes,
+            evictions: 0,
+            expirations: 0,
+        }
+    }
+
+    fn charge(key: &[u8], value: &[u8]) -> usize {
+        // Key stored in both the map and the slab entry.
+        key.len() * 2 + value.len() + ENTRY_OVERHEAD
+    }
+
+    fn detach(&mut self, idx: u32) {
+        let (prev, next) = {
+            let e = &self.slab[idx as usize];
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let e = &mut self.slab[idx as usize];
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn remove_idx(&mut self, idx: u32) {
+        self.detach(idx);
+        let entry = &mut self.slab[idx as usize];
+        self.used_bytes -= Self::charge(&entry.key, &entry.value);
+        let key = std::mem::take(&mut entry.key);
+        entry.value = Vec::new();
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+
+    /// Looks up `key`, refreshing recency. Expired entries are removed and
+    /// reported as absent.
+    pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Vec<u8>> {
+        let idx = *self.map.get(key)?;
+        if let Some(exp) = self.slab[idx as usize].expires_at_ms {
+            if exp <= now_ms {
+                self.remove_idx(idx);
+                self.expirations += 1;
+                return None;
+            }
+        }
+        self.detach(idx);
+        self.attach_front(idx);
+        Some(self.slab[idx as usize].value.clone())
+    }
+
+    /// Checks presence without refreshing recency or cloning.
+    pub fn contains(&self, key: &[u8], now_ms: u64) -> bool {
+        self.map.get(key).is_some_and(|&idx| {
+            self.slab[idx as usize]
+                .expires_at_ms
+                .map_or(true, |exp| exp > now_ms)
+        })
+    }
+
+    /// Inserts or replaces `key`, evicting LRU entries to stay within
+    /// capacity. Returns the number of entries evicted.
+    pub fn insert(
+        &mut self,
+        key: &[u8],
+        value: Vec<u8>,
+        ttl_ms: Option<u64>,
+        now_ms: u64,
+    ) -> u64 {
+        if let Some(&idx) = self.map.get(key) {
+            self.remove_idx(idx);
+        }
+        let charge = Self::charge(key, &value);
+        let boxed_key: Box<[u8]> = key.into();
+        let entry = Entry {
+            key: boxed_key.clone(),
+            value,
+            expires_at_ms: ttl_ms.map(|t| now_ms.saturating_add(t)),
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.map.insert(boxed_key, idx);
+        self.used_bytes += charge;
+        self.attach_front(idx);
+
+        let mut evicted = 0;
+        while self.used_bytes > self.capacity_bytes && self.tail != NIL && self.tail != idx {
+            let victim = self.tail;
+            self.remove_idx(victim);
+            evicted += 1;
+        }
+        self.evictions += evicted;
+        evicted
+    }
+
+    /// Removes `key`, returning whether it was present.
+    pub fn remove(&mut self, key: &[u8]) -> bool {
+        if let Some(&idx) = self.map.get(key) {
+            self.remove_idx(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the shard holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Charged bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Total evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total TTL expirations observed.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard() -> Shard {
+        Shard::new(10_000)
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut s = shard();
+        s.insert(b"a", vec![1, 2], None, 0);
+        assert_eq!(s.get(b"a", 0), Some(vec![1, 2]));
+        assert_eq!(s.len(), 1);
+        assert!(s.get(b"b", 0).is_none());
+    }
+
+    #[test]
+    fn replace_updates_value_and_charge() {
+        let mut s = shard();
+        s.insert(b"a", vec![0; 100], None, 0);
+        let used_before = s.used_bytes();
+        s.insert(b"a", vec![0; 10], None, 0);
+        assert_eq!(s.get(b"a", 0), Some(vec![0; 10]));
+        assert!(s.used_bytes() < used_before);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Capacity fits ~3 entries of this size.
+        let charge = Shard::charge(b"k0", &[0u8; 100]);
+        let mut s = Shard::new(charge * 3);
+        s.insert(b"k0", vec![0; 100], None, 0);
+        s.insert(b"k1", vec![0; 100], None, 0);
+        s.insert(b"k2", vec![0; 100], None, 0);
+        // Touch k0 so k1 is the LRU.
+        assert!(s.get(b"k0", 0).is_some());
+        s.insert(b"k3", vec![0; 100], None, 0);
+        assert!(s.get(b"k1", 0).is_none(), "k1 should have been evicted");
+        assert!(s.get(b"k0", 0).is_some());
+        assert!(s.get(b"k2", 0).is_some());
+        assert!(s.get(b"k3", 0).is_some());
+        assert_eq!(s.evictions(), 1);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut s = shard();
+        s.insert(b"a", vec![1], Some(100), 0);
+        assert!(s.get(b"a", 50).is_some());
+        assert!(s.get(b"a", 100).is_none());
+        assert_eq!(s.expirations(), 1);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn contains_does_not_refresh() {
+        let charge = Shard::charge(b"k0", &[0u8; 100]);
+        let mut s = Shard::new(charge * 2);
+        s.insert(b"k0", vec![0; 100], None, 0);
+        s.insert(b"k1", vec![0; 100], None, 0);
+        assert!(s.contains(b"k0", 0)); // must NOT move k0 to front
+        s.insert(b"k2", vec![0; 100], None, 0);
+        assert!(!s.contains(b"k0", 0), "k0 was LRU and must be evicted");
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut s = shard();
+        s.insert(b"a", vec![0; 100], None, 0);
+        assert!(s.remove(b"a"));
+        assert!(!s.remove(b"a"));
+        assert_eq!(s.used_bytes(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn slab_slots_are_reused() {
+        let mut s = shard();
+        for round in 0..10 {
+            for i in 0..20u8 {
+                s.insert(&[round, i], vec![i], None, 0);
+            }
+            for i in 0..20u8 {
+                assert!(s.remove(&[round, i]));
+            }
+        }
+        assert!(s.slab.len() <= 20, "slab grew to {}", s.slab.len());
+    }
+
+    #[test]
+    fn oversized_single_entry_is_kept() {
+        // An entry larger than capacity stays resident (can't evict the
+        // entry just inserted); the next insert pushes it out.
+        let mut s = Shard::new(50);
+        s.insert(b"big", vec![0; 500], None, 0);
+        assert!(s.get(b"big", 0).is_some());
+        s.insert(b"big2", vec![0; 500], None, 0);
+        assert!(s.get(b"big", 0).is_none());
+        assert!(s.get(b"big2", 0).is_some());
+    }
+
+    #[test]
+    fn many_inserts_respect_capacity() {
+        let mut s = Shard::new(5_000);
+        for i in 0..1000u32 {
+            s.insert(&i.to_le_bytes(), vec![0; 64], None, 0);
+            assert!(
+                s.used_bytes() <= 5_000 + Shard::charge(&i.to_le_bytes(), &[0u8; 64]),
+                "used {} after {i}",
+                s.used_bytes()
+            );
+        }
+        assert!(s.len() < 1000);
+        assert!(s.evictions() > 0);
+    }
+
+    #[test]
+    fn recency_order_is_full_chain() {
+        // Insert many, touch in a known order, then force evictions and
+        // check survivors match the touch order.
+        let charge = Shard::charge(b"k0", &[0u8; 10]);
+        let mut s = Shard::new(charge * 5);
+        for i in 0..5u8 {
+            s.insert(&[i], vec![0; 10], None, 0);
+        }
+        // Touch order: 3, 1, 4, 0, 2 → LRU is 3 after touching all.
+        for i in [3u8, 1, 4, 0, 2] {
+            assert!(s.get(&[i], 0).is_some());
+        }
+        s.insert(&[9], vec![0; 10], None, 0); // evicts 3
+        assert!(!s.contains(&[3], 0));
+        s.insert(&[10], vec![0; 10], None, 0); // evicts 1
+        assert!(!s.contains(&[1], 0));
+        assert!(s.contains(&[2], 0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Cache-wide counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hit/miss/fill counters shared across all shards of a
+/// [`Cache`](crate::Cache).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    load_failures: AtomicU64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_insertion(&self, evicted: u64) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_load_failure(&self) {
+        self.load_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries inserted (sets plus read-through fills).
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted for capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Read-through loads that returned nothing.
+    pub fn load_failures(&self) -> u64 {
+        self.load_failures.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate over all lookups (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CacheStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.record_hit();
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_tracks_evictions() {
+        let s = CacheStats::new();
+        s.record_insertion(0);
+        s.record_insertion(3);
+        assert_eq!(s.insertions(), 2);
+        assert_eq!(s.evictions(), 3);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the cache: a model-based test against a reference
+//! map, plus capacity invariants under arbitrary operation sequences.
+
+use dcperf_kvstore::{Cache, CacheConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(u8, Vec<u8>),
+    Get(u8),
+    Delete(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| Op::Set(k, v)),
+        any::<u8>().prop_map(Op::Get),
+        any::<u8>().prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With ample capacity the cache must behave exactly like a map.
+    #[test]
+    fn cache_matches_reference_map(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let cache = Cache::new(CacheConfig::with_capacity_bytes(4 << 20).with_shards(4));
+        let mut reference: HashMap<u8, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Set(k, v) => {
+                    cache.set(&[k], v.clone());
+                    reference.insert(k, v);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(cache.get(&[k]), reference.get(&k).cloned(), "key {}", k);
+                }
+                Op::Delete(k) => {
+                    let was_present = reference.remove(&k).is_some();
+                    prop_assert_eq!(cache.delete(&[k]), was_present, "key {}", k);
+                }
+            }
+        }
+        prop_assert_eq!(cache.len(), reference.len());
+    }
+
+    /// Under any workload the charged bytes stay within capacity plus one
+    /// entry of slack per shard.
+    #[test]
+    fn capacity_is_respected(
+        ops in proptest::collection::vec(
+            (any::<u16>(), 1usize..512), 1..300),
+    ) {
+        let capacity = 32 << 10;
+        let cache = Cache::new(CacheConfig::with_capacity_bytes(capacity).with_shards(4));
+        let mut max_seen = 0usize;
+        for (key, len) in ops {
+            cache.set(&key.to_le_bytes(), vec![0u8; len]);
+            max_seen = max_seen.max(cache.used_bytes());
+        }
+        // Slack: one max-size entry (value + keys + overhead) per shard.
+        let slack = 4 * (512 + 2 * 2 + 64);
+        prop_assert!(
+            max_seen <= capacity + slack,
+            "used {} exceeded capacity {} + slack {}", max_seen, capacity, slack
+        );
+    }
+
+    /// get_or_load never returns a value different from what the loader
+    /// supplied for that key.
+    #[test]
+    fn read_through_is_consistent(keys in proptest::collection::vec(any::<u8>(), 1..200)) {
+        let cache = Cache::new(CacheConfig::with_capacity_bytes(1 << 20).with_shards(2));
+        for k in keys {
+            let got = cache.get_or_load(&[k], |key| Some(vec![key[0]; 3]));
+            prop_assert_eq!(got, Some(vec![k; 3]));
+        }
+    }
+}

@@ -1,0 +1,688 @@
+//! Load generation: closed-loop and open-loop drivers with
+//! SLO-constrained peak-throughput search.
+//!
+//! DCPerf's clients "generate load to determine the maximum request rate
+//! \[the server\] can handle while maintaining the 95th percentile latency
+//! within the SLO" (§3.2, FeedSim). This crate provides the three pieces
+//! of that methodology:
+//!
+//! * [`ClosedLoop`] — N workers issuing back-to-back requests (siege/
+//!   memtier style), measuring service latency and saturating throughput.
+//! * [`OpenLoop`] — a Poisson arrival process at a configured offered
+//!   rate; latency is measured from *scheduled arrival* to completion, so
+//!   queueing delay is captured and coordinated omission avoided.
+//! * [`find_peak_load`] — doubling + binary search over offered load for
+//!   the highest rate whose [`LoadReport`] still satisfies a caller
+//!   predicate (the SLO).
+//!
+//! # Examples
+//!
+//! ```
+//! use dcperf_loadgen::{ClosedLoop, EndpointMix, Service, ServiceError};
+//! use std::time::Duration;
+//!
+//! struct Fast;
+//! impl Service for Fast {
+//!     fn call(&self, _endpoint: usize, _seq: u64) -> Result<usize, ServiceError> {
+//!         Ok(64)
+//!     }
+//! }
+//!
+//! let mix = EndpointMix::uniform(&["get"])?;
+//! let report = ClosedLoop::new(mix)
+//!     .workers(2)
+//!     .duration(Duration::from_millis(50))
+//!     .run(&Fast, 42);
+//! assert!(report.completed > 0);
+//! assert_eq!(report.errors, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crossbeam::channel::{bounded, RecvTimeoutError};
+use dcperf_util::{Empirical, Exponential, Histogram, Rng, Xoshiro256pp};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// An error returned by a [`Service`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError(pub String);
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "service error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The system under test, as seen by the load generator.
+///
+/// `endpoint` indexes into the [`EndpointMix`]; `seq` is a unique request
+/// number usable as a deterministic content seed. The return value is the
+/// response size in bytes (reported in throughput accounting).
+pub trait Service: Send + Sync {
+    /// Executes one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServiceError`] for failed requests; these count against
+    /// the error-rate SLO.
+    fn call(&self, endpoint: usize, seq: u64) -> Result<usize, ServiceError>;
+}
+
+/// A weighted set of endpoints (e.g. Instagram's `feed`, `timeline`,
+/// `seen`, `inbox`).
+#[derive(Debug, Clone)]
+pub struct EndpointMix {
+    names: Vec<String>,
+    dist: Empirical,
+}
+
+impl EndpointMix {
+    /// Builds a mix with explicit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if lengths mismatch or the weights are invalid.
+    pub fn new(names: &[&str], weights: &[f64]) -> Result<Self, Box<dyn std::error::Error>> {
+        if names.len() != weights.len() {
+            return Err("endpoint names and weights must have equal length".into());
+        }
+        Ok(Self {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            dist: Empirical::new(weights)?,
+        })
+    }
+
+    /// Builds a uniform mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `names` is empty.
+    pub fn uniform(names: &[&str]) -> Result<Self, Box<dyn std::error::Error>> {
+        let weights = vec![1.0; names.len()];
+        Self::new(names, &weights)
+    }
+
+    /// Endpoint names, index-aligned with [`Service::call`]'s `endpoint`.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.dist.sample(rng)
+    }
+}
+
+/// Everything measured during one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Open-loop only: arrivals dropped because the queue was saturated.
+    pub dropped: u64,
+    /// Latency histogram in nanoseconds (service time for closed loop;
+    /// scheduled-arrival-to-completion for open loop).
+    pub latency_ns: Histogram,
+    /// Measured wall-clock duration.
+    pub duration: Duration,
+    /// Bytes returned by successful calls.
+    pub response_bytes: u64,
+    /// Per-endpoint completion counts, index-aligned with the mix.
+    pub per_endpoint: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Achieved throughput in successful requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.duration.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.duration.as_secs_f64()
+        }
+    }
+
+    /// Errors plus drops as a fraction of all attempted requests.
+    pub fn error_rate(&self) -> f64 {
+        let attempted = self.completed + self.errors + self.dropped;
+        if attempted == 0 {
+            0.0
+        } else {
+            (self.errors + self.dropped) as f64 / attempted as f64
+        }
+    }
+
+    /// P95 latency in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.latency_ns.p95() as f64 / 1e6
+    }
+}
+
+#[derive(Debug, Default)]
+struct SharedTally {
+    completed: AtomicU64,
+    errors: AtomicU64,
+    dropped: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Closed-loop driver: each worker issues the next request as soon as the
+/// previous one completes.
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    mix: EndpointMix,
+    workers: usize,
+    duration: Duration,
+    max_requests: Option<u64>,
+}
+
+impl ClosedLoop {
+    /// Creates a driver over `mix` with defaults (4 workers, 1 s).
+    pub fn new(mix: EndpointMix) -> Self {
+        Self {
+            mix,
+            workers: 4,
+            duration: Duration::from_secs(1),
+            max_requests: None,
+        }
+    }
+
+    /// Sets the worker count (builder style).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the run duration (builder style).
+    pub fn duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Caps total requests across workers (builder style); whichever of
+    /// the cap and the duration hits first ends the run.
+    pub fn max_requests(mut self, n: u64) -> Self {
+        self.max_requests = Some(n);
+        self
+    }
+
+    /// Runs the workload and gathers a report.
+    pub fn run<S: Service>(&self, service: &S, seed: u64) -> LoadReport {
+        let tally = SharedTally::default();
+        let hist = Mutex::new(Histogram::new());
+        let per_endpoint: Vec<AtomicU64> =
+            (0..self.mix.names.len()).map(|_| AtomicU64::new(0)).collect();
+        let stop = AtomicBool::new(false);
+        let issued = AtomicU64::new(0);
+        let budget = self.max_requests.unwrap_or(u64::MAX);
+        let started = Instant::now();
+
+        std::thread::scope(|scope| {
+            for w in 0..self.workers {
+                let mut rng = Xoshiro256pp::seed_from_u64(seed ^ (w as u64) << 32);
+                let mix = &self.mix;
+                let tally = &tally;
+                let hist = &hist;
+                let per_endpoint = &per_endpoint;
+                let stop = &stop;
+                let issued = &issued;
+                let deadline = started + self.duration;
+                scope.spawn(move || {
+                    let mut local_hist = Histogram::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
+                            break;
+                        }
+                        let seq = issued.fetch_add(1, Ordering::Relaxed);
+                        if seq >= budget {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        let endpoint = mix.sample(&mut rng);
+                        let t0 = Instant::now();
+                        match service.call(endpoint, seq) {
+                            Ok(bytes) => {
+                                local_hist.record(t0.elapsed().as_nanos() as u64);
+                                tally.completed.fetch_add(1, Ordering::Relaxed);
+                                tally.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+                                per_endpoint[endpoint].fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                tally.errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    hist.lock().merge(&local_hist);
+                });
+            }
+        });
+
+        LoadReport {
+            completed: tally.completed.load(Ordering::Relaxed),
+            errors: tally.errors.load(Ordering::Relaxed),
+            dropped: 0,
+            latency_ns: hist.into_inner(),
+            duration: started.elapsed(),
+            response_bytes: tally.bytes.load(Ordering::Relaxed),
+            per_endpoint: per_endpoint
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Open-loop driver: a dispatcher schedules Poisson arrivals at the
+/// offered rate; workers serve them from a bounded queue. Latency includes
+/// queueing delay, and arrivals that find the queue full are *dropped*
+/// (counted, visible to SLO checks) rather than silently delayed.
+#[derive(Debug, Clone)]
+pub struct OpenLoop {
+    mix: EndpointMix,
+    workers: usize,
+    duration: Duration,
+    offered_rps: f64,
+    queue_depth: usize,
+}
+
+impl OpenLoop {
+    /// Creates a driver over `mix` at `offered_rps` with defaults
+    /// (4 workers, 1 s, queue depth 1024).
+    pub fn new(mix: EndpointMix, offered_rps: f64) -> Self {
+        Self {
+            mix,
+            workers: 4,
+            duration: Duration::from_secs(1),
+            offered_rps: offered_rps.max(1.0),
+            queue_depth: 1024,
+        }
+    }
+
+    /// Sets the worker count (builder style).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the run duration (builder style).
+    pub fn duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the arrival-queue depth (builder style).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Runs the workload and gathers a report.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the internal arrival-rate distribution is invalid,
+    /// which the constructor's clamping prevents.
+    pub fn run<S: Service>(&self, service: &S, seed: u64) -> LoadReport {
+        let tally = SharedTally::default();
+        let hist = Mutex::new(Histogram::new());
+        let per_endpoint: Vec<AtomicU64> =
+            (0..self.mix.names.len()).map(|_| AtomicU64::new(0)).collect();
+        let started = Instant::now();
+        let deadline = started + self.duration;
+        // Arrival = (endpoint, seq, scheduled time).
+        let (tx, rx) = bounded::<(usize, u64, Instant)>(self.queue_depth);
+
+        std::thread::scope(|scope| {
+            // Dispatcher.
+            {
+                let mix = &self.mix;
+                let tally = &tally;
+                let gaps = Exponential::new(self.offered_rps)
+                    .expect("offered rate clamped positive");
+                let mut rng = Xoshiro256pp::seed_from_u64(seed);
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut next = Instant::now();
+                    let mut seq = 0u64;
+                    loop {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        if next > now {
+                            std::thread::sleep(next - now);
+                        }
+                        let endpoint = mix.sample(&mut rng);
+                        match tx.try_send((endpoint, seq, next)) {
+                            Ok(()) => {}
+                            Err(_) => {
+                                tally.dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        seq += 1;
+                        next += Duration::from_secs_f64(gaps.sample(&mut rng));
+                    }
+                });
+            }
+            drop(tx);
+
+            for _ in 0..self.workers {
+                let tally = &tally;
+                let hist = &hist;
+                let per_endpoint = &per_endpoint;
+                let rx = rx.clone();
+                scope.spawn(move || {
+                    let mut local_hist = Histogram::new();
+                    loop {
+                        match rx.recv_timeout(Duration::from_millis(50)) {
+                            Ok((endpoint, seq, scheduled)) => {
+                                match service.call(endpoint, seq) {
+                                    Ok(bytes) => {
+                                        let lat = Instant::now()
+                                            .saturating_duration_since(scheduled);
+                                        local_hist.record(lat.as_nanos() as u64);
+                                        tally.completed.fetch_add(1, Ordering::Relaxed);
+                                        tally
+                                            .bytes
+                                            .fetch_add(bytes as u64, Ordering::Relaxed);
+                                        per_endpoint[endpoint]
+                                            .fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(_) => {
+                                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            Err(RecvTimeoutError::Timeout) => {
+                                if Instant::now() >= deadline {
+                                    break;
+                                }
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                    hist.lock().merge(&local_hist);
+                });
+            }
+        });
+
+        LoadReport {
+            completed: tally.completed.load(Ordering::Relaxed),
+            errors: tally.errors.load(Ordering::Relaxed),
+            dropped: tally.dropped.load(Ordering::Relaxed),
+            latency_ns: hist.into_inner(),
+            duration: started.elapsed(),
+            response_bytes: tally.bytes.load(Ordering::Relaxed),
+            per_endpoint: per_endpoint
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// The outcome of a peak-load search.
+#[derive(Debug, Clone)]
+pub struct PeakSearchResult {
+    /// Highest offered RPS whose report satisfied the SLO predicate,
+    /// or `None` if even the starting rate failed.
+    pub peak_rps: Option<f64>,
+    /// Report of the best passing trial.
+    pub best_report: Option<LoadReport>,
+    /// Every `(offered_rps, passed)` trial, in order.
+    pub trials: Vec<(f64, bool)>,
+}
+
+/// Searches for the maximum offered load meeting an SLO: doubles the rate
+/// until the predicate fails, then binary-searches the bracket.
+///
+/// `run_trial` executes one open-loop trial at a rate and returns its
+/// report; `meets_slo` judges it. `refinements` bounds the binary-search
+/// steps.
+pub fn find_peak_load(
+    start_rps: f64,
+    max_rps: f64,
+    refinements: u32,
+    mut run_trial: impl FnMut(f64) -> LoadReport,
+    mut meets_slo: impl FnMut(&LoadReport) -> bool,
+) -> PeakSearchResult {
+    let mut trials = Vec::new();
+    let mut best: Option<(f64, LoadReport)> = None;
+    let mut lo = start_rps.max(1.0);
+
+    // Phase 1: doubling until failure or cap.
+    let mut hi = None;
+    let mut rate = lo;
+    loop {
+        let report = run_trial(rate);
+        let pass = meets_slo(&report);
+        trials.push((rate, pass));
+        if pass {
+            best = Some((rate, report));
+            lo = rate;
+            if rate >= max_rps {
+                break;
+            }
+            rate = (rate * 2.0).min(max_rps);
+        } else {
+            hi = Some(rate);
+            break;
+        }
+    }
+
+    // Phase 2: binary search between lo (pass) and hi (fail).
+    if let Some(mut hi) = hi {
+        if best.is_some() {
+            for _ in 0..refinements {
+                let mid = (lo + hi) / 2.0;
+                if hi - lo < lo * 0.05 {
+                    break; // within 5% — good enough for a benchmark
+                }
+                let report = run_trial(mid);
+                let pass = meets_slo(&report);
+                trials.push((mid, pass));
+                if pass {
+                    best = Some((mid, report));
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+    }
+
+    let (peak_rps, best_report) = match best {
+        Some((rps, report)) => (Some(rps), Some(report)),
+        None => (None, None),
+    };
+    PeakSearchResult {
+        peak_rps,
+        best_report,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sleepy {
+        us: u64,
+    }
+
+    impl Service for Sleepy {
+        fn call(&self, _endpoint: usize, _seq: u64) -> Result<usize, ServiceError> {
+            if self.us > 0 {
+                let deadline = Instant::now() + Duration::from_micros(self.us);
+                while Instant::now() < deadline {
+                    std::hint::spin_loop();
+                }
+            }
+            Ok(10)
+        }
+    }
+
+    struct Flaky;
+
+    impl Service for Flaky {
+        fn call(&self, _endpoint: usize, seq: u64) -> Result<usize, ServiceError> {
+            if seq % 4 == 0 {
+                Err(ServiceError("planned failure".into()))
+            } else {
+                Ok(1)
+            }
+        }
+    }
+
+    fn mix() -> EndpointMix {
+        EndpointMix::new(&["feed", "timeline"], &[3.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn closed_loop_measures_throughput() {
+        let report = ClosedLoop::new(mix())
+            .workers(2)
+            .duration(Duration::from_millis(100))
+            .run(&Sleepy { us: 100 }, 1);
+        assert!(report.completed > 100, "completed={}", report.completed);
+        assert_eq!(report.errors, 0);
+        assert!(report.throughput_rps() > 1000.0);
+        assert!(report.latency_ns.p50() >= 90_000, "p50={}", report.latency_ns.p50());
+        assert_eq!(report.response_bytes, report.completed * 10);
+    }
+
+    #[test]
+    fn closed_loop_respects_request_cap() {
+        let report = ClosedLoop::new(mix())
+            .workers(4)
+            .duration(Duration::from_secs(10))
+            .max_requests(500)
+            .run(&Sleepy { us: 0 }, 2);
+        assert!(report.completed <= 500);
+        assert!(report.duration < Duration::from_secs(5), "cap should end early");
+    }
+
+    #[test]
+    fn closed_loop_mix_weights_respected() {
+        let report = ClosedLoop::new(mix())
+            .workers(2)
+            .duration(Duration::from_millis(80))
+            .run(&Sleepy { us: 10 }, 3);
+        let total: u64 = report.per_endpoint.iter().sum();
+        assert_eq!(total, report.completed);
+        let frac0 = report.per_endpoint[0] as f64 / total as f64;
+        assert!((frac0 - 0.75).abs() < 0.1, "frac0={frac0}");
+    }
+
+    #[test]
+    fn errors_are_counted() {
+        let report = ClosedLoop::new(mix())
+            .workers(1)
+            .duration(Duration::from_secs(5))
+            .max_requests(1000)
+            .run(&Flaky, 4);
+        assert!(report.errors > 150, "errors={}", report.errors);
+        assert!(report.error_rate() > 0.15 && report.error_rate() < 0.35);
+    }
+
+    #[test]
+    fn open_loop_tracks_offered_rate() {
+        let report = OpenLoop::new(mix(), 2000.0)
+            .workers(4)
+            .duration(Duration::from_millis(300))
+            .run(&Sleepy { us: 20 }, 5);
+        let achieved = report.throughput_rps();
+        assert!(
+            achieved > 1000.0 && achieved < 3500.0,
+            "achieved={achieved}"
+        );
+        assert_eq!(report.dropped, 0, "no drops expected at this light load");
+    }
+
+    #[test]
+    fn open_loop_overload_drops_or_queues() {
+        // One slow worker (1ms/call => ~1000 rps capacity) at 20k offered:
+        // queue fills, drops occur, and queueing delay shows in latency.
+        let report = OpenLoop::new(mix(), 20_000.0)
+            .workers(1)
+            .queue_depth(64)
+            .duration(Duration::from_millis(300))
+            .run(&Sleepy { us: 1000 }, 6);
+        assert!(report.dropped > 0, "expected drops under overload");
+        assert!(
+            report.latency_ns.p95() > 1_000_000,
+            "queueing delay should inflate p95: {}",
+            report.latency_ns.p95()
+        );
+    }
+
+    #[test]
+    fn peak_search_converges_on_capacity() {
+        // Simulated service: pass while offered <= 1000 rps.
+        let result = find_peak_load(
+            100.0,
+            100_000.0,
+            12,
+            |rate| {
+                // Fabricate a report whose p95 blows up past capacity.
+                let mut hist = Histogram::new();
+                let lat_ns = if rate <= 1000.0 { 1_000_000 } else { 600_000_000 };
+                for _ in 0..100 {
+                    hist.record(lat_ns);
+                }
+                LoadReport {
+                    completed: rate as u64,
+                    errors: 0,
+                    dropped: 0,
+                    latency_ns: hist,
+                    duration: Duration::from_secs(1),
+                    response_bytes: 0,
+                    per_endpoint: vec![rate as u64],
+                }
+            },
+            |report| report.p95_ms() <= 500.0,
+        );
+        let peak = result.peak_rps.expect("capacity is reachable");
+        assert!(
+            (800.0..=1100.0).contains(&peak),
+            "peak={peak}, trials={:?}",
+            result.trials
+        );
+        assert!(result.best_report.is_some());
+    }
+
+    #[test]
+    fn peak_search_reports_unattainable_slo() {
+        let result = find_peak_load(
+            100.0,
+            1000.0,
+            4,
+            |_rate| LoadReport {
+                completed: 0,
+                errors: 100,
+                dropped: 0,
+                latency_ns: Histogram::new(),
+                duration: Duration::from_secs(1),
+                response_bytes: 0,
+                per_endpoint: vec![0],
+            },
+            |report| report.error_rate() < 0.01,
+        );
+        assert!(result.peak_rps.is_none());
+        assert_eq!(result.trials.len(), 1);
+    }
+
+    #[test]
+    fn endpoint_mix_validation() {
+        assert!(EndpointMix::new(&["a"], &[1.0, 2.0]).is_err());
+        assert!(EndpointMix::uniform(&[]).is_err());
+        let m = EndpointMix::uniform(&["x", "y"]).unwrap();
+        assert_eq!(m.names(), &["x".to_string(), "y".to_string()]);
+    }
+}

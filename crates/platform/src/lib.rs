@@ -1,0 +1,52 @@
+//! SKU specifications, calibrated workload profiles, and the analytical
+//! microarchitecture model behind DCPerf-RS's cross-SKU projections.
+//!
+//! The paper's evaluation (§4) compares DCPerf against Meta production
+//! workloads and SPEC CPU across four x86 server generations (Table 3),
+//! two ARM candidates (Table 4), and a 384-core prototype (§5.3). Those
+//! machines are not available here, so this crate substitutes a
+//! *calibrated analytical model*:
+//!
+//! * Every workload carries a [`MicroAnchor`] — its measured
+//!   microarchitecture profile on the reference SKU (SKU2, "the most
+//!   widely used SKU in Meta's fleet as of 2024"), taken from the paper's
+//!   own Figures 4–12.
+//! * [`Model`] projects that anchor onto any other [`SkuSpec`] through
+//!   first-principles transfer functions: an instruction-cache capacity
+//!   miss curve, TMAM stall re-composition, bandwidth-saturation backend
+//!   pressure, a Universal Scalability Law core-scaling term (with the
+//!   kernel-version contention coefficient of §5.3), an all-core
+//!   frequency model, and a component power model.
+//! * [`projection`] aggregates per-workload projections into the
+//!   suite-level scores of Figures 2, 3, 14, 15, and 16, and
+//!   [`cloudsuite`] reproduces the measured pathologies of Figure 13.
+//!
+//! The model is calibrated once against SKU2 and then *evaluated* on the
+//! other SKUs; EXPERIMENTS.md records projected-versus-paper values for
+//! every figure.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcperf_platform::{profiles, sku, Model};
+//!
+//! let model = Model::new();
+//! let feedsim = profiles::feedsim();
+//! let on_sku4 = model.evaluate(&feedsim, &sku::SKU4, &Default::default());
+//! let on_sku1 = model.evaluate(&feedsim, &sku::SKU1, &Default::default());
+//! assert!(on_sku4.throughput > on_sku1.throughput);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cloudsuite;
+pub mod model;
+pub mod profile;
+pub mod projection;
+pub mod sku;
+pub mod vendor;
+
+pub use model::{Model, OsConfig, PerfEstimate};
+pub use profile::{profiles, MicroAnchor, PowerBreakdown, ProfileKind, TaxSlice, Tmam, WorkloadProfile};
+pub use sku::{Isa, SkuSpec};

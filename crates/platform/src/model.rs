@@ -1,0 +1,550 @@
+//! The analytical microarchitecture model.
+//!
+//! [`Model::evaluate`] projects a workload's [reference-SKU
+//! anchor](crate::MicroAnchor) onto an arbitrary [`SkuSpec`] through a
+//! chain of transfer functions. Each function is a standard first-order
+//! model from the architecture literature; all are *ratios against the
+//! reference SKU*, so on the reference SKU every projection reproduces the
+//! anchor exactly (calibration by construction, evaluation elsewhere).
+//!
+//! Transfer chain:
+//!
+//! 1. **I-cache**: L1-I MPKI follows a power-law capacity-miss curve in
+//!    `footprint / L1I size`, with the footprint inflated by thread
+//!    oversubscription (context switches dilute the cache — §4.3's
+//!    explanation for TaoBench's high MPKI despite a small binary).
+//! 2. **TMAM re-composition**: frontend-bound tracks the I-cache MPKI
+//!    ratio (damped — misses overlap with decode and resteer bubbles);
+//!    bad speculation tracks branch-predictor quality; backend-bound
+//!    splits into a core part (issue-width ratio) and a memory part that
+//!    follows loaded latency, LLC miss-curve relief, and a
+//!    bandwidth-saturation queueing term. Retiring absorbs the residual.
+//! 3. **IPC** = anchor IPC × retiring ratio × issue-width ratio.
+//! 4. **Frequency**: all-core sustained clock scaled by the workload's
+//!    anchored residency factor.
+//! 5. **Core scaling**: the Universal Scalability Law over effective
+//!    cores (physical × SMT yield), with the contention coefficient κ
+//!    split into an application part and a *kernel* part that the
+//!    kernel-6.9 `load_avg` ratelimit patch shrinks (§5.3).
+//! 6. **Throughput** = USL(effective cores) × frequency^sensitivity ×
+//!    IPC, normalized to the reference SKU.
+//! 7. **Power** = design power × anchored component fractions × an
+//!    *envelope-utilization* term (dense, fully-utilized execution fills a
+//!    bigger part's budget; stall-heavy SLO-bound services leave it dark),
+//!    with the DRAM component tracking achieved bandwidth.
+
+use crate::profile::{MicroAnchor, PowerBreakdown, Tmam, WorkloadProfile};
+use crate::sku::{SkuSpec, SKU2};
+use serde::Serialize;
+
+/// Linux kernel version, for the §5.3 scalability study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum KernelVersion {
+    /// Kernel 6.4: global `tg->load_avg` counter updated on every
+    /// scheduling event — heavy cross-core contention at high core counts.
+    V6_4,
+    /// Kernel 6.9: the ratelimit patch cuts the update frequency, removing
+    /// most of that contention.
+    V6_9,
+}
+
+impl KernelVersion {
+    /// Multiplier on the kernel-attributed part of the USL κ coefficient.
+    pub fn kernel_kappa_multiplier(self) -> f64 {
+        match self {
+            KernelVersion::V6_4 => 1.0,
+            KernelVersion::V6_9 => 0.06,
+        }
+    }
+}
+
+/// Host OS configuration for a projection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OsConfig {
+    /// Kernel version.
+    pub kernel: KernelVersion,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        // The paper's SKU measurements predate the 6.9 upgrade.
+        Self {
+            kernel: KernelVersion::V6_4,
+        }
+    }
+}
+
+/// Microarchitecture-level adjustments for what-if studies (vendor
+/// optimizations, §5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adjustments {
+    /// Multiplier on L1-I MPKI (e.g. 0.64 for a 36% reduction).
+    pub l1i_mpki_mult: f64,
+    /// Multiplier on L2 misses (flows into the memory-bound backend part).
+    pub l2_miss_mult: f64,
+    /// Override of the frontend-stall-to-MPKI coupling (see
+    /// [`Model::frontend_beta`]); `None` keeps the default.
+    pub frontend_beta: Option<f64>,
+}
+
+impl Default for Adjustments {
+    fn default() -> Self {
+        Self {
+            l1i_mpki_mult: 1.0,
+            l2_miss_mult: 1.0,
+            frontend_beta: None,
+        }
+    }
+}
+
+/// Everything the model projects for one (workload, SKU, OS) triple.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PerfEstimate {
+    /// Throughput relative to the same workload on the reference SKU
+    /// (reference = 1.0 under the default OS).
+    pub throughput: f64,
+    /// Projected TMAM split.
+    pub tmam: Tmam,
+    /// Projected IPC per physical core.
+    pub ipc: f64,
+    /// Projected L1-I MPKI.
+    pub l1i_mpki: f64,
+    /// Projected memory bandwidth consumption, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Projected total CPU utilization, %.
+    pub cpu_util_total: f64,
+    /// Projected kernel CPU utilization, %.
+    pub cpu_util_sys: f64,
+    /// Projected average core frequency, GHz.
+    pub freq_ghz: f64,
+    /// Projected server power, watts.
+    pub power_w: f64,
+    /// Projected power split, % of design power.
+    pub power_pct: PowerBreakdown,
+    /// Throughput per watt (relative units / W).
+    pub perf_per_watt: f64,
+    /// USL-effective cores actually contributing.
+    pub effective_cores: f64,
+}
+
+/// The projection engine. Construct once, evaluate many.
+#[derive(Debug, Clone)]
+pub struct Model {
+    reference: SkuSpec,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Model {
+    /// A model calibrated against SKU2 (the paper's profiling SKU).
+    pub fn new() -> Self {
+        Self { reference: SKU2 }
+    }
+
+    /// The calibration reference SKU.
+    pub fn reference(&self) -> &SkuSpec {
+        &self.reference
+    }
+
+    /// Default coupling between the L1-I MPKI ratio and frontend stalls.
+    ///
+    /// Misses overlap with other fetch bubbles, so a doubling of MPKI
+    /// costs less than a doubling of frontend-bound slots.
+    pub fn frontend_beta(&self) -> f64 {
+        0.5
+    }
+
+    /// Effective instruction footprint: the binary's working set diluted
+    /// by thread oversubscription (context switches evict the cache).
+    fn effective_icache_kb(profile: &WorkloadProfile) -> f64 {
+        profile.icache_kb * (1.0 + 0.18 * profile.thread_core_ratio.max(1.0).ln())
+    }
+
+    /// Capacity-miss curve: relative misses as a function of
+    /// footprint/capacity. Linear below capacity (compulsory misses),
+    /// power-law above it.
+    fn icache_miss_level(footprint_kb: f64, l1i_kb: f64) -> f64 {
+        let x = footprint_kb / l1i_kb.max(1.0);
+        if x <= 1.0 {
+            x.max(0.05)
+        } else {
+            x.powf(0.75)
+        }
+    }
+
+    /// LLC miss-ratio curve (fraction of accesses missing).
+    fn llc_miss_ratio(data_mb: f64, llc_mb: f64) -> f64 {
+        let x = data_mb / llc_mb.max(1.0);
+        x / (1.0 + x)
+    }
+
+    /// Queueing-style latency inflation as bandwidth demand approaches
+    /// capacity.
+    fn bw_inflation(demand_gbs: f64, capacity_gbs: f64) -> f64 {
+        let u = (demand_gbs / capacity_gbs.max(1.0)).min(0.95);
+        1.0 + 1.2 * u * u
+    }
+
+    /// USL-effective parallelism for `n` effective cores, with an extra
+    /// quartic kernel-contention term: a single contended kernel cache
+    /// line (the §5.3 `tg->load_avg` counter) degrades superlinearly as
+    /// every core both updates it and pays coherence misses on it.
+    fn usl(n: f64, sigma: f64, kappa_app: f64, kappa_kernel: f64) -> f64 {
+        n / (1.0
+            + sigma * (n - 1.0)
+            + kappa_app * n * (n - 1.0)
+            + kappa_kernel * n.powi(4))
+    }
+
+    fn effective_cores(profile: &WorkloadProfile, sku: &SkuSpec) -> f64 {
+        let ways = sku.smt_ways() as f64;
+        sku.physical_cores as f64 * (1.0 + profile.smt_yield * (ways - 1.0))
+    }
+
+    fn kernel_kappa_for(profile: &WorkloadProfile, os: &OsConfig) -> f64 {
+        profile.kernel_kappa * os.kernel.kernel_kappa_multiplier()
+    }
+
+    /// Projected average core frequency for a workload on a SKU.
+    fn frequency(&self, anchor: &MicroAnchor, sku: &SkuSpec) -> f64 {
+        let residency = anchor.freq_ghz / self.reference.sustained_ghz;
+        (sku.sustained_ghz * residency).min(sku.boost_ghz)
+    }
+
+    /// Projects `profile` onto `sku` under `os`.
+    pub fn evaluate(
+        &self,
+        profile: &WorkloadProfile,
+        sku: &SkuSpec,
+        os: &OsConfig,
+    ) -> PerfEstimate {
+        self.evaluate_adjusted(profile, sku, os, &Adjustments::default())
+    }
+
+    /// Projects with microarchitectural what-if adjustments applied to
+    /// the target SKU (used for the §5.2 vendor study).
+    pub fn evaluate_adjusted(
+        &self,
+        profile: &WorkloadProfile,
+        sku: &SkuSpec,
+        os: &OsConfig,
+        adj: &Adjustments,
+    ) -> PerfEstimate {
+        let reference = &self.reference;
+        let anchor = &profile.anchor;
+        let anchor_tmam = anchor.tmam.normalized();
+
+        // --- 1. I-cache ---------------------------------------------------
+        let footprint = Self::effective_icache_kb(profile);
+        let miss_ref = Self::icache_miss_level(footprint, reference.l1i_kb);
+        let miss_sku = Self::icache_miss_level(footprint, sku.l1i_kb);
+        // A replacement-policy what-if only recovers *capacity* misses;
+        // workloads whose footprint fits the cache (SPEC) see nothing.
+        let capacity_pressure = ((footprint / sku.l1i_kb - 1.0) / 4.0).clamp(0.0, 1.0);
+        let eff_mpki_mult = 1.0 - (1.0 - adj.l1i_mpki_mult) * capacity_pressure;
+        let l1i_mpki = anchor.l1i_mpki * (miss_sku / miss_ref) * eff_mpki_mult;
+
+        // --- 2. TMAM ------------------------------------------------------
+        let beta = adj.frontend_beta.unwrap_or_else(|| self.frontend_beta());
+        let mpki_ratio = l1i_mpki / anchor.l1i_mpki.max(0.01);
+        let frontend =
+            (anchor_tmam.frontend * (1.0 + beta * (mpki_ratio - 1.0))).clamp(1.0, 75.0);
+
+        let bad_spec = (anchor_tmam.bad_spec * (reference.branch_quality / sku.branch_quality))
+            .clamp(0.5, 40.0);
+
+        // Memory-bound share of backend stalls grows with the data set.
+        let mem_frac = (profile.data_mb / (profile.data_mb + 20.0 * reference.llc_mb))
+            .clamp(0.1, 0.9);
+        let llc_relief = Self::llc_miss_ratio(profile.data_mb, sku.llc_mb)
+            / Self::llc_miss_ratio(profile.data_mb, reference.llc_mb).max(1e-6);
+        // Bandwidth demand scales with the raw compute capability ratio.
+        let raw_compute_ratio = (sku.physical_cores as f64 * sku.sustained_ghz)
+            / (reference.physical_cores as f64 * reference.sustained_ghz);
+        let demand_ref = anchor.mem_bw_gbs;
+        let demand_sku = anchor.mem_bw_gbs * raw_compute_ratio;
+        let bw_term = Self::bw_inflation(demand_sku, sku.mem_bw_gbs)
+            / Self::bw_inflation(demand_ref, reference.mem_bw_gbs);
+        let lat_term = sku.mem_latency_ns / reference.mem_latency_ns;
+        let mem_factor = llc_relief * lat_term * bw_term;
+        let core_factor = (reference.issue_width / sku.issue_width).sqrt();
+        let backend = (anchor_tmam.backend
+            * ((1.0 - mem_frac) * core_factor + mem_frac * mem_factor))
+            .clamp(0.5, 85.0);
+
+        // New stalls appear (they don't just scale) when bandwidth
+        // demand pushes past ~55% of the target's capacity: queueing
+        // delay turns into backend-bound slots the anchor never had.
+        let u_sku = (demand_sku / sku.mem_bw_gbs.max(1.0)).min(0.95);
+        let u_ref = (demand_ref / reference.mem_bw_gbs.max(1.0)).min(0.95);
+        let extra_backend =
+            28.0 * ((u_sku - 0.55).max(0.0) - (u_ref - 0.55).max(0.0));
+        let backend = (backend + extra_backend).clamp(0.5, 85.0);
+
+        let retiring = (100.0 - frontend - bad_spec - backend).max(5.0);
+        let tmam = Tmam {
+            frontend,
+            bad_spec,
+            backend,
+            retiring,
+        }
+        .normalized();
+
+        // --- 3. IPC -------------------------------------------------------
+        let ipc_raw = anchor.ipc * (tmam.retiring / anchor_tmam.retiring)
+            * (sku.issue_width / reference.issue_width).sqrt();
+        // A physical core cannot sustain more IPC than its width allows;
+        // narrow efficiency cores cap high-ILP workloads (Spark, video).
+        // The cap is scaled so the reference SKU always reproduces the
+        // anchor even for anchors near the reference's own ceiling.
+        let ref_ceiling = 0.7 * reference.issue_width;
+        let ceiling_scale = (anchor.ipc / ref_ceiling).max(1.0);
+        let ipc = ipc_raw.min(0.7 * sku.issue_width * ceiling_scale);
+
+        // --- 4. Frequency ---------------------------------------------------
+        let freq = self.frequency(anchor, sku);
+        let freq_ref = self.frequency(anchor, reference);
+
+        // --- 5. Core scaling ------------------------------------------------
+        let kk = Self::kernel_kappa_for(profile, os);
+        let kk_ref = Self::kernel_kappa_for(profile, &OsConfig::default());
+        let n_sku = Self::effective_cores(profile, sku);
+        let n_ref = Self::effective_cores(profile, reference);
+        let usl_sku = Self::usl(n_sku, profile.usl_sigma, profile.usl_kappa, kk);
+        let usl_ref = Self::usl(n_ref, profile.usl_sigma, profile.usl_kappa, kk_ref);
+
+        // --- 6. Throughput ----------------------------------------------------
+        let ipc_ratio = ipc / anchor.ipc;
+        let freq_ratio = (freq / freq_ref).powf(profile.freq_sensitivity);
+        let throughput = (usl_sku / usl_ref) * freq_ratio * ipc_ratio;
+
+        // --- Derived micro metrics -------------------------------------------
+        // Traffic follows throughput; miss-reduction what-ifs shave the
+        // share of accesses that still reach DRAM.
+        let mem_bw = (anchor.mem_bw_gbs * throughput * adj.l2_miss_mult.powf(0.35))
+            .min(sku.mem_bw_gbs * 0.95);
+        // Kernel share grows slightly with core count (more cross-core
+        // scheduling), bounded by the anchor's character.
+        let sys_scale = (n_sku / n_ref).powf(0.15);
+        let cpu_util_sys = (anchor.cpu_util_sys * sys_scale).min(anchor.cpu_util_total);
+
+        // --- 7. Power ---------------------------------------------------------
+        // Component fractions are anchored per workload: each SKU's design
+        // power already budgets for its own clocks, so only the DRAM share
+        // moves (with achieved bandwidth).
+        let core_pct = anchor.power.core;
+        let dram_pct = anchor.power.dram * (mem_bw / anchor.mem_bw_gbs.max(1.0)).sqrt();
+        let power_pct = PowerBreakdown {
+            core: core_pct,
+            soc: anchor.power.soc,
+            dram: dram_pct,
+            other: anchor.power.other,
+        };
+        // Envelope utilization: a workload that drives every core flat out
+        // (SPEC, act→1) fills a bigger part's power budget on bigger parts,
+        // while SLO- and utilization-bound workloads leave progressively
+        // more of a many-core SKU's envelope idle. Anchored (=1) on the
+        // reference SKU; calibrated against Figure 14's suite rows.
+        // Activity combines how many cycles the cores are busy with how
+        // much work each busy cycle retires: SPEC's dense, fully-utilized
+        // execution fills a big part's power envelope; stall-heavy,
+        // SLO-bound services leave much of it dark.
+        let act = ((anchor.cpu_util_total / 100.0).powi(2)
+            * (anchor_tmam.retiring / 45.0))
+            .clamp(0.0, 1.6);
+        let envelope = (1.0
+            + (0.0875 * act - 0.648 * (1.0 - act)) * (n_sku / n_ref).ln())
+        .clamp(0.45, 2.0);
+        let power_w = sku.design_power_w * power_pct.total() / 100.0 * envelope;
+        let perf_per_watt = throughput / power_w.max(1.0);
+
+        PerfEstimate {
+            throughput,
+            tmam,
+            ipc,
+            l1i_mpki,
+            mem_bw_gbs: mem_bw,
+            cpu_util_total: anchor.cpu_util_total,
+            cpu_util_sys,
+            freq_ghz: freq,
+            power_w,
+            power_pct,
+            perf_per_watt,
+            effective_cores: usl_sku,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profiles;
+    use crate::sku;
+
+    fn model() -> Model {
+        Model::new()
+    }
+
+    #[test]
+    fn reference_projection_reproduces_anchor() {
+        let m = model();
+        let os = OsConfig::default();
+        for p in profiles::dcperf_suite().iter().chain(profiles::production_suite().iter()) {
+            let est = m.evaluate(p, &sku::SKU2, &os);
+            let a = p.anchor.tmam.normalized();
+            assert!((est.throughput - 1.0).abs() < 1e-9, "{}", p.name);
+            assert!((est.ipc - p.anchor.ipc).abs() < 1e-9, "{}", p.name);
+            assert!((est.l1i_mpki - p.anchor.l1i_mpki).abs() < 1e-9, "{}", p.name);
+            assert!((est.tmam.frontend - a.frontend).abs() < 1e-6, "{}", p.name);
+            assert!((est.freq_ghz - p.anchor.freq_ghz).abs() < 1e-9, "{}", p.name);
+            assert!(
+                (est.mem_bw_gbs - p.anchor.mem_bw_gbs).abs() < 1e-9,
+                "{}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn tmam_projection_sums_to_100() {
+        let m = model();
+        let os = OsConfig::default();
+        for p in profiles::dcperf_suite() {
+            for s in [&sku::SKU1, &sku::SKU3, &sku::SKU4, &sku::SKU_A, &sku::SKU_B] {
+                let t = m.evaluate(&p, s, &os).tmam;
+                let sum = t.frontend + t.bad_spec + t.backend + t.retiring;
+                assert!((sum - 100.0).abs() < 1e-6, "{} on {}: {sum}", p.name, s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn newer_x86_skus_are_faster() {
+        let m = model();
+        let os = OsConfig::default();
+        for p in profiles::dcperf_suite() {
+            let mut last = 0.0;
+            for s in sku::X86_SKUS {
+                let t = m.evaluate(&p, s, &os).throughput;
+                assert!(t > last, "{} on {}: {t} <= {last}", p.name, s.name);
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn small_icache_hurts_web_workloads_most() {
+        // §5.1: SKU-B's small L1-I "is not well-suited for the large code
+        // base of web workloads".
+        let m = model();
+        let os = OsConfig::default();
+        let web = profiles::djangobench();
+        let video = profiles::videobench(1);
+        // Compare IPC degradation caused by SKU-B's 16 KiB L1-I relative
+        // to an otherwise-identical SKU with SKU-A's 64 KiB L1-I.
+        let mut sku_b_big_l1i = sku::SKU_B.clone();
+        sku_b_big_l1i.l1i_kb = 64.0;
+        let web_drop = m.evaluate(&web, &sku::SKU_B, &os).ipc
+            / m.evaluate(&web, &sku_b_big_l1i, &os).ipc;
+        let video_drop = m.evaluate(&video, &sku::SKU_B, &os).ipc
+            / m.evaluate(&video, &sku_b_big_l1i, &os).ipc;
+        assert!(web_drop < 0.85, "web ipc ratio {web_drop}");
+        assert!(
+            web_drop < video_drop - 0.05,
+            "web {web_drop} vs video {video_drop}"
+        );
+    }
+
+    #[test]
+    fn kernel_69_matters_only_at_extreme_core_counts() {
+        // Figure 16: 3% on 176 cores, ~54% on 384 cores, for TaoBench.
+        let m = model();
+        let tao = profiles::taobench();
+        let v64 = OsConfig {
+            kernel: KernelVersion::V6_4,
+        };
+        let v69 = OsConfig {
+            kernel: KernelVersion::V6_9,
+        };
+        let gain_176 = m.evaluate(&tao, &sku::SKU4, &v69).throughput
+            / m.evaluate(&tao, &sku::SKU4, &v64).throughput;
+        let gain_384 = m.evaluate(&tao, &sku::SKU_384C, &v69).throughput
+            / m.evaluate(&tao, &sku::SKU_384C, &v64).throughput;
+        assert!(gain_176 > 1.0 && gain_176 < 1.15, "gain@176 = {gain_176}");
+        assert!(gain_384 > 1.25, "gain@384 = {gain_384}");
+        assert!(gain_384 > gain_176);
+    }
+
+    #[test]
+    fn spec_scales_better_than_dcperf_on_many_cores() {
+        // The central Figure 2/3 claim: SPEC overestimates many-core
+        // gains relative to datacenter workloads.
+        let m = model();
+        let os = OsConfig::default();
+        let spec_gain: f64 = profiles::spec2017_suite()
+            .iter()
+            .map(|p| {
+                m.evaluate(p, &sku::SKU4, &os).throughput
+                    / m.evaluate(p, &sku::SKU1, &os).throughput
+            })
+            .sum::<f64>()
+            / 10.0;
+        let dcperf_gain: f64 = profiles::dcperf_suite()
+            .iter()
+            .map(|p| {
+                m.evaluate(p, &sku::SKU4, &os).throughput
+                    / m.evaluate(p, &sku::SKU1, &os).throughput
+            })
+            .sum::<f64>()
+            / 5.0;
+        assert!(
+            spec_gain > dcperf_gain * 1.1,
+            "spec {spec_gain} vs dcperf {dcperf_gain}"
+        );
+    }
+
+    #[test]
+    fn vendor_adjustment_improves_ipc_modestly() {
+        // §5.2 / Figure 15: -36% L1-I misses → ~+2% IPC for MediaWiki.
+        let m = model();
+        let os = OsConfig::default();
+        let mw = profiles::mediawiki();
+        let base = m.evaluate(&mw, &sku::SKU2, &os);
+        let adj = Adjustments {
+            l1i_mpki_mult: 0.64,
+            l2_miss_mult: 0.72,
+            frontend_beta: Some(0.055),
+        };
+        let opt = m.evaluate_adjusted(&mw, &sku::SKU2, &os, &adj);
+        let ipc_gain = opt.ipc / base.ipc - 1.0;
+        assert!(
+            (0.005..=0.05).contains(&ipc_gain),
+            "ipc gain {ipc_gain}"
+        );
+        assert!((opt.l1i_mpki / base.l1i_mpki - 0.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_tracks_design_power() {
+        let m = model();
+        let os = OsConfig::default();
+        let p = profiles::mediawiki();
+        let a = m.evaluate(&p, &sku::SKU_A, &os);
+        let b = m.evaluate(&p, &sku::SKU_B, &os);
+        // SKU-A's server is 175W design vs SKU-B's 275W.
+        assert!(a.power_w < b.power_w);
+    }
+
+    #[test]
+    fn perf_per_watt_is_throughput_over_power() {
+        let m = model();
+        let os = OsConfig::default();
+        let p = profiles::feedsim();
+        let est = m.evaluate(&p, &sku::SKU4, &os);
+        assert!((est.perf_per_watt - est.throughput / est.power_w).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,281 @@
+//! Suite-level projections: the scores and comparisons of Figures 2, 3,
+//! 14, and 16.
+
+use crate::model::{KernelVersion, Model, OsConfig};
+use crate::profile::{profiles, ProfileKind, WorkloadProfile};
+use crate::sku::{self, SkuSpec};
+use dcperf_util::{geometric_mean, weighted_geometric_mean};
+
+/// A suite's normalized score on one SKU (SKU1 = 1.0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteScore {
+    /// Suite label ("Production", "DCPerf", …).
+    pub suite: &'static str,
+    /// SKU name.
+    pub sku: &'static str,
+    /// Score relative to SKU1.
+    pub score: f64,
+}
+
+/// Computes a suite score on `sku`: the geometric mean across workloads
+/// of per-workload throughput normalized to SKU1. Production workloads
+/// are weighted by fleet power share, as in §4.1.
+pub fn suite_score(
+    model: &Model,
+    suite: &[WorkloadProfile],
+    sku: &SkuSpec,
+    os: &OsConfig,
+) -> f64 {
+    let ratios: Vec<f64> = suite
+        .iter()
+        .map(|p| {
+            model.evaluate(p, sku, os).throughput
+                / model.evaluate(p, &sku::SKU1, os).throughput
+        })
+        .collect();
+    let weighted = suite
+        .iter()
+        .any(|p| p.kind == ProfileKind::Production && p.fleet_weight != 1.0);
+    if weighted {
+        let weights: Vec<f64> = suite.iter().map(|p| p.fleet_weight).collect();
+        weighted_geometric_mean(&ratios, &weights).unwrap_or(0.0)
+    } else {
+        geometric_mean(&ratios).unwrap_or(0.0)
+    }
+}
+
+/// Figure 2: per-SKU scores for Production, DCPerf, SPEC 2006, and
+/// SPEC 2017, each normalized to SKU1.
+pub fn figure2(model: &Model) -> Vec<SuiteScore> {
+    let os = OsConfig::default();
+    let suites: [(&'static str, Vec<WorkloadProfile>); 4] = [
+        ("Production", profiles::production_suite()),
+        ("DCPerf", profiles::dcperf_suite()),
+        ("SPEC 2006", profiles::spec2006_suite()),
+        ("SPEC 2017", profiles::spec2017_suite()),
+    ];
+    let mut out = Vec::new();
+    for (label, suite) in &suites {
+        for s in sku::X86_SKUS {
+            out.push(SuiteScore {
+                suite: label,
+                sku: s.name,
+                score: suite_score(model, suite, s, &os),
+            });
+        }
+    }
+    out
+}
+
+/// Figure 3: relative projection error of each benchmark suite versus the
+/// production measurement, per SKU, in percent.
+pub fn figure3(model: &Model) -> Vec<SuiteScore> {
+    let fig2 = figure2(model);
+    let prod: Vec<f64> = fig2
+        .iter()
+        .filter(|s| s.suite == "Production")
+        .map(|s| s.score)
+        .collect();
+    let mut out = Vec::new();
+    for suite in ["DCPerf", "SPEC 2006", "SPEC 2017"] {
+        for (i, s) in fig2.iter().filter(|s| s.suite == suite).enumerate() {
+            out.push(SuiteScore {
+                suite,
+                sku: s.sku,
+                score: (s.score / prod[i] - 1.0) * 100.0,
+            });
+        }
+    }
+    out
+}
+
+/// One Figure 14 row: a benchmark's Perf/Watt on a SKU, normalized to its
+/// Perf/Watt on SKU1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPerWatt {
+    /// Benchmark (or suite geomean) label.
+    pub benchmark: String,
+    /// SKU name.
+    pub sku: &'static str,
+    /// Perf/Watt relative to SKU1.
+    pub value: f64,
+}
+
+/// Figure 14: Perf/Watt of SKU4, SKU-A, and SKU-B for each DCPerf
+/// benchmark, the DCPerf geomean, and the SPEC 2017 geomean — all
+/// normalized to SKU1.
+pub fn figure14(model: &Model) -> Vec<PerfPerWatt> {
+    let os = OsConfig::default();
+    let skus = [&sku::SKU4, &sku::SKU_A, &sku::SKU_B];
+    let mut out = Vec::new();
+    let dcperf = profiles::dcperf_suite();
+    for s in skus {
+        let mut ratios = Vec::new();
+        for p in &dcperf {
+            let base = model.evaluate(p, &sku::SKU1, &os).perf_per_watt;
+            let here = model.evaluate(p, s, &os).perf_per_watt;
+            ratios.push(here / base);
+            out.push(PerfPerWatt {
+                benchmark: p.name.to_owned(),
+                sku: s.name,
+                value: here / base,
+            });
+        }
+        out.push(PerfPerWatt {
+            benchmark: "DCPerf".to_owned(),
+            sku: s.name,
+            value: geometric_mean(&ratios).unwrap_or(0.0),
+        });
+        let spec_ratios: Vec<f64> = profiles::spec2017_suite()
+            .iter()
+            .map(|p| {
+                model.evaluate(p, s, &os).perf_per_watt
+                    / model.evaluate(p, &sku::SKU1, &os).perf_per_watt
+            })
+            .collect();
+        out.push(PerfPerWatt {
+            benchmark: "SPEC2017".to_owned(),
+            sku: s.name,
+            value: geometric_mean(&spec_ratios).unwrap_or(0.0),
+        });
+    }
+    out
+}
+
+/// One Figure 16 cell: TaoBench's relative performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelScalingCell {
+    /// SKU label ("176-core SKU", "384-core SKU").
+    pub sku: &'static str,
+    /// Kernel label.
+    pub kernel: &'static str,
+    /// Performance relative to (176-core, kernel 6.4) = 100.
+    pub relative_percent: f64,
+}
+
+/// Figure 16: TaoBench across kernels 6.4/6.9 and the 176-/384-core SKUs,
+/// normalized to the 176-core kernel-6.4 cell.
+pub fn figure16(model: &Model) -> Vec<KernelScalingCell> {
+    let tao = profiles::taobench();
+    let cells = [
+        (&sku::SKU4, KernelVersion::V6_4, "176-core SKU", "Kernel 6.4"),
+        (&sku::SKU_384C, KernelVersion::V6_4, "384-core SKU", "Kernel 6.4"),
+        (&sku::SKU4, KernelVersion::V6_9, "176-core SKU", "Kernel 6.9"),
+        (&sku::SKU_384C, KernelVersion::V6_9, "384-core SKU", "Kernel 6.9"),
+    ];
+    let base = model
+        .evaluate(&tao, &sku::SKU4, &OsConfig { kernel: KernelVersion::V6_4 })
+        .throughput;
+    cells
+        .iter()
+        .map(|(s, k, sku_label, kernel_label)| KernelScalingCell {
+            sku: sku_label,
+            kernel: kernel_label,
+            relative_percent: model
+                .evaluate(&tao, s, &OsConfig { kernel: *k })
+                .throughput
+                / base
+                * 100.0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_normalizes_to_sku1() {
+        let fig = figure2(&Model::new());
+        for s in fig.iter().filter(|s| s.sku == "SKU1") {
+            assert!((s.score - 1.0).abs() < 1e-9, "{}: {}", s.suite, s.score);
+        }
+        assert_eq!(fig.len(), 16);
+    }
+
+    #[test]
+    fn figure3_dcperf_beats_spec_on_sku4() {
+        // The headline claim: DCPerf within ~3.3%, SPEC 20-28% high.
+        let fig = figure3(&Model::new());
+        let err = |suite: &str| {
+            fig.iter()
+                .find(|s| s.suite == suite && s.sku == "SKU4")
+                .unwrap()
+                .score
+        };
+        let dcperf = err("DCPerf").abs();
+        let spec06 = err("SPEC 2006");
+        let spec17 = err("SPEC 2017");
+        assert!(dcperf < 8.0, "dcperf error {dcperf}%");
+        assert!(spec06 > 10.0, "spec06 error {spec06}%");
+        assert!(spec17 > spec06, "spec17 {spec17} vs spec06 {spec06}");
+        assert!(dcperf < spec06 && dcperf < spec17);
+    }
+
+    #[test]
+    fn figure14_sku_a_wins_sku_b_loses() {
+        // §5.1: SKU-A outperforms SKU4 on Perf/Watt; SKU-B underperforms.
+        let fig = figure14(&Model::new());
+        let suite = |sku: &str| {
+            fig.iter()
+                .find(|r| r.benchmark == "DCPerf" && r.sku == sku)
+                .unwrap()
+                .value
+        };
+        assert!(suite("SKU-A") > suite("SKU4"), "SKU-A should win");
+        assert!(suite("SKU-B") < suite("SKU4"), "SKU-B should lose");
+    }
+
+    #[test]
+    fn figure14_spec_would_mislead() {
+        // §5.1: SPEC rates SKU-B comparable to SKU-A — using it would have
+        // picked the wrong ARM part.
+        let fig = figure14(&Model::new());
+        let spec = |sku: &str| {
+            fig.iter()
+                .find(|r| r.benchmark == "SPEC2017" && r.sku == sku)
+                .unwrap()
+                .value
+        };
+        let dc = |sku: &str| {
+            fig.iter()
+                .find(|r| r.benchmark == "DCPerf" && r.sku == sku)
+                .unwrap()
+                .value
+        };
+        let spec_gap = spec("SKU-A") / spec("SKU-B");
+        let dcperf_gap = dc("SKU-A") / dc("SKU-B");
+        // Paper: DCPerf gap 2.3/0.8 = 2.9x vs SPEC 1.8/1.6 = 1.1x. Our
+        // model ties SPEC to the same narrow-core IPC ceiling that sinks
+        // SKU-B for datacenter work, so SPEC's gap is larger here than in
+        // the paper (see EXPERIMENTS.md); the ordering still holds.
+        assert!(
+            dcperf_gap > spec_gap * 1.1,
+            "DCPerf separates the SKUs ({dcperf_gap:.2}x) more than SPEC ({spec_gap:.2}x)"
+        );
+    }
+
+    #[test]
+    fn figure16_shape() {
+        let fig = figure16(&Model::new());
+        let cell = |sku: &str, kernel: &str| {
+            fig.iter()
+                .find(|c| c.sku == sku && c.kernel == kernel)
+                .unwrap()
+                .relative_percent
+        };
+        let base = cell("176-core SKU", "Kernel 6.4");
+        assert!((base - 100.0).abs() < 1e-9);
+        // Kernel upgrade is ~3% at 176 cores...
+        let k69_176 = cell("176-core SKU", "Kernel 6.9");
+        assert!(k69_176 > 100.0 && k69_176 < 112.0, "{k69_176}");
+        // ...but transformative at 384 cores.
+        let k64_384 = cell("384-core SKU", "Kernel 6.4");
+        let k69_384 = cell("384-core SKU", "Kernel 6.9");
+        assert!(k64_384 > 120.0 && k64_384 < 205.0, "{k64_384}");
+        assert!(k69_384 / k64_384 > 1.3, "gain {}", k69_384 / k64_384);
+        // The paper's sanity threshold: with 6.9 the 384-core SKU exceeds
+        // the naive core-ratio expectation of 384/176 = 2.18x.
+        assert!(k69_384 / k69_176 > 2.18, "{}", k69_384 / k69_176);
+    }
+}

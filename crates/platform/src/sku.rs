@@ -1,0 +1,357 @@
+//! Server SKU specifications (Tables 3 and 4 of the paper, plus the
+//! 384-core prototype of §5.3).
+//!
+//! The public columns (logical cores, RAM, network, storage, year, and the
+//! ARM SKUs' relative L1-I size and server power) are taken verbatim from
+//! the paper. Microarchitectural parameters the paper does not publish
+//! (cache sizes, sustained frequency, memory bandwidth, pipeline width)
+//! are filled with values representative of the server generations in
+//! question; they are calibration inputs to the model, not claims about
+//! the actual parts.
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction-set family, for the ARM-vs-x86 comparisons of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Isa {
+    /// x86-64 server parts (SKU1–SKU4).
+    X86,
+    /// ARM server parts (SKU-A, SKU-B).
+    Arm,
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Isa::X86 => f.write_str("x86"),
+            Isa::Arm => f.write_str("ARM"),
+        }
+    }
+}
+
+/// A server SKU: the paper's published columns plus the model's
+/// microarchitecture parameters.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SkuSpec {
+    /// SKU name as used in the paper ("SKU1", "SKU-A", …).
+    pub name: &'static str,
+    /// Instruction set family.
+    pub isa: Isa,
+    /// Logical (SMT) cores — Table 3/4's "Logical cores".
+    pub logical_cores: u32,
+    /// Physical cores.
+    pub physical_cores: u32,
+    /// RAM in GB — Table 3/4.
+    pub ram_gb: u32,
+    /// Network bandwidth in Gbps — Table 3/4.
+    pub network_gbps: f64,
+    /// Storage description — Table 3.
+    pub storage: &'static str,
+    /// Year of introduction — Table 3.
+    pub year: u32,
+    /// L1 instruction cache per core, KiB.
+    pub l1i_kb: f64,
+    /// L1 data cache per core, KiB.
+    pub l1d_kb: f64,
+    /// L2 cache per core, KiB.
+    pub l2_kb: f64,
+    /// Last-level cache, MiB (total).
+    pub llc_mb: f64,
+    /// Peak memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Loaded memory latency, ns.
+    pub mem_latency_ns: f64,
+    /// All-core sustained frequency under datacenter load, GHz.
+    pub sustained_ghz: f64,
+    /// Single-core max boost, GHz.
+    pub boost_ghz: f64,
+    /// Pipeline issue width (TMAM slot width).
+    pub issue_width: f64,
+    /// Branch-predictor quality factor (1.0 = SKU2 reference; higher is
+    /// better, scales bad-speculation down).
+    pub branch_quality: f64,
+    /// Server design (budgeted) power in watts — Table 4 publishes the
+    /// ARM SKUs'; the x86 values are representative.
+    pub design_power_w: f64,
+    /// Idle server power, watts.
+    pub idle_power_w: f64,
+}
+
+impl SkuSpec {
+    /// SMT ways (logical / physical cores).
+    pub fn smt_ways(&self) -> u32 {
+        (self.logical_cores / self.physical_cores).max(1)
+    }
+
+    /// One row of the Table 3/4 rendering.
+    pub fn spec_row(&self) -> String {
+        format!(
+            "{:<8} {:>4} {:>8} {:>8} {:>6.1} {:<12} {:>5}",
+            self.name,
+            self.logical_cores,
+            self.ram_gb,
+            format!("{:.0}W", self.design_power_w),
+            self.network_gbps,
+            self.storage,
+            self.year
+        )
+    }
+}
+
+/// SKU1 (Table 3): 36 logical cores, 64 GB, 12.5 Gbps, SATA, 2018.
+pub const SKU1: SkuSpec = SkuSpec {
+    name: "SKU1",
+    isa: Isa::X86,
+    logical_cores: 36,
+    physical_cores: 18,
+    ram_gb: 64,
+    network_gbps: 12.5,
+    storage: "256GB SATA",
+    year: 2018,
+    l1i_kb: 32.0,
+    l1d_kb: 32.0,
+    l2_kb: 1024.0,
+    llc_mb: 24.75,
+    mem_bw_gbs: 76.0,
+    mem_latency_ns: 88.0,
+    sustained_ghz: 2.65,
+    boost_ghz: 3.7,
+    issue_width: 4.0,
+    branch_quality: 0.97,
+    design_power_w: 140.0,
+    idle_power_w: 45.0,
+};
+
+/// SKU2 (Table 3): 52 logical cores, 2021 — the calibration reference
+/// (the paper's Figure 4–12 data were measured on it).
+pub const SKU2: SkuSpec = SkuSpec {
+    name: "SKU2",
+    isa: Isa::X86,
+    logical_cores: 52,
+    physical_cores: 26,
+    ram_gb: 64,
+    network_gbps: 25.0,
+    storage: "512GB NVMe",
+    year: 2021,
+    l1i_kb: 32.0,
+    l1d_kb: 48.0,
+    l2_kb: 1280.0,
+    llc_mb: 39.0,
+    mem_bw_gbs: 97.0,
+    mem_latency_ns: 85.0,
+    sustained_ghz: 2.1,
+    boost_ghz: 3.4,
+    issue_width: 4.0,
+    branch_quality: 1.0,
+    design_power_w: 240.0,
+    idle_power_w: 70.0,
+};
+
+/// SKU3 (Table 3): 72 logical cores, 2022.
+pub const SKU3: SkuSpec = SkuSpec {
+    name: "SKU3",
+    isa: Isa::X86,
+    logical_cores: 72,
+    physical_cores: 36,
+    ram_gb: 64,
+    network_gbps: 25.0,
+    storage: "512GB NVMe",
+    year: 2022,
+    l1i_kb: 32.0,
+    l1d_kb: 48.0,
+    l2_kb: 1280.0,
+    llc_mb: 54.0,
+    mem_bw_gbs: 130.0,
+    mem_latency_ns: 84.0,
+    sustained_ghz: 2.15,
+    boost_ghz: 3.5,
+    issue_width: 4.0,
+    branch_quality: 1.02,
+    design_power_w: 300.0,
+    idle_power_w: 85.0,
+};
+
+/// SKU4 (Table 3): 176 logical cores, 2023 — "Meta's latest server SKU"
+/// at evaluation time.
+pub const SKU4: SkuSpec = SkuSpec {
+    name: "SKU4",
+    isa: Isa::X86,
+    logical_cores: 176,
+    physical_cores: 88,
+    ram_gb: 256,
+    network_gbps: 50.0,
+    storage: "1TB NVMe",
+    year: 2023,
+    l1i_kb: 32.0,
+    l1d_kb: 32.0,
+    l2_kb: 1024.0,
+    llc_mb: 256.0,
+    mem_bw_gbs: 430.0,
+    mem_latency_ns: 95.0,
+    sustained_ghz: 2.33,
+    boost_ghz: 3.7,
+    issue_width: 4.6,
+    branch_quality: 1.04,
+    design_power_w: 460.0,
+    idle_power_w: 130.0,
+};
+
+/// SKU-A (Table 4): ARM, 72 cores, large L1-I (4× SKU-B's), 175 W.
+pub const SKU_A: SkuSpec = SkuSpec {
+    name: "SKU-A",
+    isa: Isa::Arm,
+    logical_cores: 72,
+    physical_cores: 72,
+    ram_gb: 256,
+    network_gbps: 50.0,
+    storage: "1TB NVMe",
+    year: 2023,
+    l1i_kb: 64.0,
+    l1d_kb: 64.0,
+    l2_kb: 1024.0,
+    llc_mb: 96.0,
+    mem_bw_gbs: 300.0,
+    mem_latency_ns: 98.0,
+    sustained_ghz: 2.2,
+    boost_ghz: 2.5,
+    issue_width: 4.0,
+    branch_quality: 1.02,
+    design_power_w: 175.0,
+    idle_power_w: 55.0,
+};
+
+/// SKU-B (Table 4): ARM, 160 cores, small L1-I (1× baseline), 275 W.
+pub const SKU_B: SkuSpec = SkuSpec {
+    name: "SKU-B",
+    isa: Isa::Arm,
+    logical_cores: 160,
+    physical_cores: 160,
+    ram_gb: 256,
+    network_gbps: 50.0,
+    storage: "1TB NVMe",
+    year: 2023,
+    l1i_kb: 16.0,
+    l1d_kb: 32.0,
+    l2_kb: 512.0,
+    llc_mb: 48.0,
+    mem_bw_gbs: 220.0,
+    mem_latency_ns: 115.0,
+    sustained_ghz: 1.7,
+    boost_ghz: 1.9,
+    issue_width: 2.6,
+    branch_quality: 0.92,
+    design_power_w: 275.0,
+    idle_power_w: 70.0,
+};
+
+/// The 384-logical-core prototype SKU of §5.3's kernel-scalability study.
+pub const SKU_384C: SkuSpec = SkuSpec {
+    name: "SKU-384",
+    isa: Isa::X86,
+    logical_cores: 384,
+    physical_cores: 192,
+    ram_gb: 512,
+    network_gbps: 100.0,
+    storage: "2TB NVMe",
+    year: 2024,
+    l1i_kb: 32.0,
+    l1d_kb: 48.0,
+    l2_kb: 1024.0,
+    llc_mb: 384.0,
+    mem_bw_gbs: 700.0,
+    mem_latency_ns: 95.0,
+    sustained_ghz: 2.66,
+    boost_ghz: 3.8,
+    issue_width: 5.6,
+    branch_quality: 1.08,
+    design_power_w: 500.0,
+    idle_power_w: 140.0,
+};
+
+/// The x86 production SKUs of Table 3, in order.
+pub const X86_SKUS: [&SkuSpec; 4] = [&SKU1, &SKU2, &SKU3, &SKU4];
+
+/// The ARM candidate SKUs of Table 4.
+pub const ARM_SKUS: [&SkuSpec; 2] = [&SKU_A, &SKU_B];
+
+/// Renders Table 3 (x86 production SKUs).
+pub fn render_table3() -> String {
+    let mut out = String::from(
+        "Table 3: x86-based production server SKUs\nSKU      cores   RAM(GB)    power   Gbps storage          year\n",
+    );
+    for sku in X86_SKUS {
+        out.push_str(&sku.spec_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table 4 (ARM candidate SKUs), including the published
+/// normalized L1-I ratio.
+pub fn render_table4() -> String {
+    let mut out = String::from(
+        "Table 4: ARM-based new server SKUs\nSKU      cores   RAM(GB)    power   Gbps storage          year\n",
+    );
+    for sku in ARM_SKUS {
+        out.push_str(&sku.spec_row());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "L1-I ratio (SKU-A : SKU-B) = {:.0}x : 1x\n",
+        SKU_A.l1i_kb / SKU_B.l1i_kb
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_columns_match_paper() {
+        assert_eq!(SKU1.logical_cores, 36);
+        assert_eq!(SKU2.logical_cores, 52);
+        assert_eq!(SKU3.logical_cores, 72);
+        assert_eq!(SKU4.logical_cores, 176);
+        assert_eq!(SKU1.ram_gb, 64);
+        assert_eq!(SKU4.ram_gb, 256);
+        assert_eq!(SKU1.network_gbps, 12.5);
+        assert_eq!(SKU4.network_gbps, 50.0);
+        assert_eq!(SKU1.year, 2018);
+        assert_eq!(SKU4.year, 2023);
+    }
+
+    #[test]
+    fn table4_columns_match_paper() {
+        assert_eq!(SKU_A.logical_cores, 72);
+        assert_eq!(SKU_B.logical_cores, 160);
+        assert_eq!(SKU_A.design_power_w, 175.0);
+        assert_eq!(SKU_B.design_power_w, 275.0);
+        // "L1-I cache size (normalized): SKU-A 4×, SKU-B 1×".
+        assert_eq!(SKU_A.l1i_kb / SKU_B.l1i_kb, 4.0);
+    }
+
+    #[test]
+    fn smt_ways() {
+        assert_eq!(SKU1.smt_ways(), 2);
+        assert_eq!(SKU_A.smt_ways(), 1);
+    }
+
+    #[test]
+    fn tables_render_all_rows() {
+        let t3 = render_table3();
+        for name in ["SKU1", "SKU2", "SKU3", "SKU4"] {
+            assert!(t3.contains(name));
+        }
+        let t4 = render_table4();
+        assert!(t4.contains("SKU-A") && t4.contains("SKU-B"));
+        assert!(t4.contains("4x : 1x"));
+    }
+
+    #[test]
+    fn sku_serializes_to_json() {
+        let json = serde_json::to_string(&SKU4).unwrap();
+        assert!(json.contains("\"SKU4\""));
+        assert!(json.contains("176"));
+    }
+}

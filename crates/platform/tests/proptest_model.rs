@@ -1,0 +1,141 @@
+//! Property tests on the analytical model: structural invariants that
+//! must hold for *any* plausible SKU, not just the calibrated ones.
+
+use dcperf_platform::model::{KernelVersion, OsConfig};
+use dcperf_platform::profile::profiles;
+use dcperf_platform::{sku, Model, SkuSpec};
+use proptest::prelude::*;
+
+/// Strategy over plausible SKUs derived from SKU2 by perturbing the
+/// microarchitectural knobs.
+fn sku_strategy() -> impl Strategy<Value = SkuSpec> {
+    (
+        2u32..256,            // physical cores
+        1u32..3,              // smt ways
+        prop_oneof![Just(16.0), Just(32.0), Just(64.0), Just(128.0)], // l1i
+        8.0f64..512.0,        // llc mb
+        40.0f64..800.0,       // mem bw
+        60.0f64..140.0,       // latency
+        1.2f64..3.5,          // sustained ghz
+        2.0f64..8.0,          // issue width
+        0.8f64..1.3,          // branch quality
+        100.0f64..800.0,      // design power
+    )
+        .prop_map(
+            |(phys, smt, l1i, llc, bw, lat, ghz, width, branch, power)| SkuSpec {
+                name: "SKU-prop",
+                physical_cores: phys,
+                logical_cores: phys * smt,
+                l1i_kb: l1i,
+                llc_mb: llc,
+                mem_bw_gbs: bw,
+                mem_latency_ns: lat,
+                sustained_ghz: ghz,
+                boost_ghz: ghz + 1.0,
+                issue_width: width,
+                branch_quality: branch,
+                design_power_w: power,
+                idle_power_w: power * 0.3,
+                ..sku::SKU2.clone()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TMAM always sums to 100 and every component stays within [0, 100].
+    #[test]
+    fn tmam_is_always_a_valid_split(sku in sku_strategy()) {
+        let model = Model::new();
+        let os = OsConfig::default();
+        for p in profiles::dcperf_suite() {
+            let t = model.evaluate(&p, &sku, &os).tmam;
+            let sum = t.frontend + t.bad_spec + t.backend + t.retiring;
+            prop_assert!((sum - 100.0).abs() < 1e-6, "{}: {}", p.name, sum);
+            for (label, v) in [
+                ("frontend", t.frontend),
+                ("bad_spec", t.bad_spec),
+                ("backend", t.backend),
+                ("retiring", t.retiring),
+            ] {
+                prop_assert!((0.0..=100.0).contains(&v), "{} {}={}", p.name, label, v);
+            }
+        }
+    }
+
+    /// Throughput, IPC, power, and frequency are always positive and
+    /// finite.
+    #[test]
+    fn estimates_are_finite_and_positive(sku in sku_strategy()) {
+        let model = Model::new();
+        let os = OsConfig::default();
+        for p in profiles::dcperf_suite().iter().chain(profiles::spec2017_suite().iter()) {
+            let est = model.evaluate(p, &sku, &os);
+            for (label, v) in [
+                ("throughput", est.throughput),
+                ("ipc", est.ipc),
+                ("power", est.power_w),
+                ("freq", est.freq_ghz),
+                ("mpki", est.l1i_mpki),
+                ("bw", est.mem_bw_gbs),
+            ] {
+                prop_assert!(v.is_finite() && v > 0.0, "{} {}={}", p.name, label, v);
+            }
+        }
+    }
+
+    /// A kernel upgrade never makes anything slower.
+    #[test]
+    fn kernel_69_never_hurts(sku in sku_strategy()) {
+        let model = Model::new();
+        for p in profiles::dcperf_suite() {
+            let v64 = model
+                .evaluate(&p, &sku, &OsConfig { kernel: KernelVersion::V6_4 })
+                .throughput;
+            let v69 = model
+                .evaluate(&p, &sku, &OsConfig { kernel: KernelVersion::V6_9 })
+                .throughput;
+            prop_assert!(v69 >= v64 * 0.999999, "{}: {} < {}", p.name, v69, v64);
+        }
+    }
+
+    /// More cores with proportionally more memory bandwidth never reduce
+    /// modeled throughput. (Cores *without* bandwidth can lose — the
+    /// saturation term is supposed to model exactly that — so the
+    /// property holds the bytes-per-core ratio fixed.)
+    #[test]
+    fn adding_balanced_cores_is_monotone_for_scalable_workloads(
+        base in sku_strategy(),
+        extra in 1u32..64,
+    ) {
+        let model = Model::new();
+        let os = OsConfig { kernel: KernelVersion::V6_9 };
+        let mut bigger = base.clone();
+        bigger.physical_cores = base.physical_cores + extra;
+        bigger.logical_cores = bigger.physical_cores * base.smt_ways();
+        bigger.mem_bw_gbs =
+            base.mem_bw_gbs * bigger.physical_cores as f64 / base.physical_cores as f64;
+        // The embarrassingly parallel workload must never lose from a
+        // balanced scale-up.
+        let p = profiles::videobench(1);
+        let small = model.evaluate(&p, &base, &os).throughput;
+        let large = model.evaluate(&p, &bigger, &os).throughput;
+        prop_assert!(large >= small * 0.999, "video: {} -> {}", small, large);
+    }
+
+    /// A larger L1-I never increases MPKI; a smaller one never decreases
+    /// it.
+    #[test]
+    fn icache_size_is_monotone_in_mpki(sku in sku_strategy()) {
+        let model = Model::new();
+        let os = OsConfig::default();
+        let mut bigger = sku.clone();
+        bigger.l1i_kb = sku.l1i_kb * 2.0;
+        for p in profiles::dcperf_suite() {
+            let base = model.evaluate(&p, &sku, &os).l1i_mpki;
+            let with_big = model.evaluate(&p, &bigger, &os).l1i_mpki;
+            prop_assert!(with_big <= base + 1e-9, "{}: {} -> {}", p.name, base, with_big);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! RPC clients: in-process and TCP, with parallel fan-out.
+
+use crate::frame::{read_frame, write_frame, Request, Response, RpcError, Status};
+use crate::server::ServerCore;
+use crate::stats::RpcStats;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Converts a received response into the caller-facing result.
+fn response_to_result(resp: Response) -> Result<Response, RpcError> {
+    match resp.status {
+        Status::Ok => Ok(resp),
+        Status::Error => Err(RpcError::Application(
+            String::from_utf8_lossy(&resp.body).into_owned(),
+        )),
+        Status::Overloaded => Err(RpcError::Overloaded),
+    }
+}
+
+/// A handle for calling an [`InProcServer`](crate::server::InProcServer).
+///
+/// Cheap to clone; every clone shares the server's pool and stats.
+#[derive(Clone)]
+pub struct InProcClient {
+    core: Arc<ServerCore>,
+    seq: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for InProcClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcClient").finish_non_exhaustive()
+    }
+}
+
+impl InProcClient {
+    pub(crate) fn new(core: Arc<ServerCore>) -> Self {
+        Self {
+            core,
+            seq: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    fn build_request(&self, method: &str, body: Vec<u8>) -> Request {
+        let mut req = Request::new(method, body);
+        req.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        req
+    }
+
+    fn call_inner(&self, req: Request, blocking: bool) -> Result<Response, RpcError> {
+        // Serialize/deserialize even in-process: the RPC tax must be paid.
+        let encoded = req.encode();
+        self.core.stats.record_request(encoded.len());
+        let req = Request::decode(&encoded)?;
+
+        let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(1);
+        self.core.dispatch(req, blocking, move |resp| {
+            let _ = tx.send(resp.encode());
+        });
+        match rx.recv() {
+            Ok(encoded) => {
+                let resp = Response::decode(&encoded)?;
+                self.core.stats.record_response(
+                    encoded.len(),
+                    resp.status == Status::Ok,
+                    resp.status == Status::Overloaded,
+                );
+                response_to_result(resp)
+            }
+            // The dispatch was shed (queue full) or the pool is gone; the
+            // reply sender was dropped without sending.
+            Err(_) => {
+                self.core.stats.record_response(0, false, true);
+                Err(RpcError::Overloaded)
+            }
+        }
+    }
+
+    /// Synchronous call; waits for queue space under load (closed loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpcError::Application`] for handler-reported errors,
+    /// [`RpcError::Overloaded`] if the server shut down mid-call.
+    pub fn call(&self, method: &str, body: Vec<u8>) -> Result<Response, RpcError> {
+        self.call_inner(self.build_request(method, body), true)
+    }
+
+    /// Synchronous call that is shed immediately when the server queue is
+    /// full (open loop): overload becomes an [`RpcError::Overloaded`]
+    /// instead of queueing delay.
+    ///
+    /// # Errors
+    ///
+    /// As [`InProcClient::call`], plus shed-on-full behavior.
+    pub fn try_call(&self, method: &str, body: Vec<u8>) -> Result<Response, RpcError> {
+        self.call_inner(self.build_request(method, body), false)
+    }
+
+    /// Issues `calls` in parallel (one thread per call, scoped), modeling
+    /// the RPC fan-out of production request trees.
+    pub fn fanout(&self, calls: Vec<(String, Vec<u8>)>) -> FanoutResult {
+        let mut results: Vec<Option<Result<Response, RpcError>>> =
+            (0..calls.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut joins = Vec::with_capacity(calls.len());
+            for (method, body) in calls {
+                let client = self.clone();
+                joins.push(scope.spawn(move || client.call(&method, body)));
+            }
+            for (slot, join) in results.iter_mut().zip(joins) {
+                *slot = Some(join.join().unwrap_or(Err(RpcError::Disconnected)));
+            }
+        });
+        FanoutResult {
+            responses: results.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Shared transport counters.
+    pub fn stats(&self) -> &RpcStats {
+        &self.core.stats
+    }
+}
+
+/// The gathered outcome of a parallel fan-out.
+#[derive(Debug)]
+pub struct FanoutResult {
+    /// Per-call outcomes, in issue order.
+    pub responses: Vec<Result<Response, RpcError>>,
+}
+
+impl FanoutResult {
+    /// Number of successful calls.
+    pub fn ok_count(&self) -> usize {
+        self.responses.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Whether every call succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.ok_count() == self.responses.len()
+    }
+
+    /// Total bytes across successful response bodies.
+    pub fn total_response_bytes(&self) -> usize {
+        self.responses
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|r| r.body.len())
+            .sum()
+    }
+}
+
+/// A synchronous TCP RPC client (one outstanding call per connection, as
+/// with classic Thrift sync clients; use several clients for parallelism).
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    seq: u64,
+    stats: RpcStats,
+}
+
+impl std::fmt::Debug for TcpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClient").field("seq", &self.seq).finish()
+    }
+}
+
+impl TcpClient {
+    /// Connects to a [`TcpServer`](crate::server::TcpServer).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connection error.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Self {
+            reader,
+            writer,
+            seq: 1,
+            stats: RpcStats::new(),
+        })
+    }
+
+    /// Synchronous call over the connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O, wire, application, or overload errors.
+    pub fn call(&mut self, method: &str, body: Vec<u8>) -> Result<Response, RpcError> {
+        let mut req = Request::new(method, body);
+        req.seq = self.seq;
+        self.seq += 1;
+        let payload = req.encode();
+        self.stats.record_request(payload.len());
+        write_frame(&mut self.writer, &payload)?;
+        let frame = read_frame(&mut self.reader)?.ok_or(RpcError::Disconnected)?;
+        let resp = Response::decode(&frame)?;
+        self.stats.record_response(
+            frame.len(),
+            resp.status == Status::Ok,
+            resp.status == Status::Overloaded,
+        );
+        response_to_result(resp)
+    }
+
+    /// This connection's counters.
+    pub fn stats(&self) -> &RpcStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use crate::server::InProcServer;
+
+    #[test]
+    fn fanout_gathers_in_order() {
+        let server = InProcServer::start(
+            |req: &Request| Response::ok(req.body.clone()),
+            PoolConfig::single_lane(4),
+        );
+        let client = server.client();
+        let calls: Vec<(String, Vec<u8>)> =
+            (0..10u8).map(|i| ("echo".to_owned(), vec![i])).collect();
+        let result = client.fanout(calls);
+        assert!(result.all_ok());
+        assert_eq!(result.ok_count(), 10);
+        assert_eq!(result.total_response_bytes(), 10);
+        for (i, r) in result.responses.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().body, vec![i as u8]);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn application_error_maps_to_rpc_error() {
+        let server = InProcServer::start(
+            |_req: &Request| Response::error("no such key"),
+            PoolConfig::single_lane(1),
+        );
+        let client = server.client();
+        match client.call("get", vec![]) {
+            Err(RpcError::Application(m)) => assert_eq!(m, "no such key"),
+            other => panic!("expected application error, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_track_calls() {
+        let server = InProcServer::start(
+            |req: &Request| Response::ok(req.body.clone()),
+            PoolConfig::single_lane(1),
+        );
+        let client = server.client();
+        for _ in 0..5 {
+            client.call("m", vec![0u8; 32]).unwrap();
+        }
+        assert_eq!(client.stats().requests(), 5);
+        assert_eq!(client.stats().responses(), 5);
+        assert!(client.stats().bytes_sent() > 5 * 32);
+        assert_eq!(client.stats().error_rate(), 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn try_call_sheds_on_saturated_queue() {
+        // One worker parked on a gate; depth-1 queue.
+        let (gate_tx, gate_rx) = crossbeam::channel::bounded::<()>(0);
+        let gate_rx = std::sync::Mutex::new(gate_rx);
+        let server = InProcServer::start(
+            move |req: &Request| {
+                if req.method == "block" {
+                    let _ = gate_rx.lock().unwrap().recv();
+                }
+                Response::ok(vec![])
+            },
+            PoolConfig::single_lane(1).with_queue_depth(1),
+        );
+        let client = server.client();
+        // Occupy the worker.
+        let blocker = {
+            let client = client.clone();
+            std::thread::spawn(move || client.call("block", vec![]))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // Fill the queue.
+        let filler = {
+            let client = client.clone();
+            std::thread::spawn(move || client.call("x", vec![]))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // This one must shed.
+        match client.try_call("x", vec![]) {
+            Err(RpcError::Overloaded) => {}
+            other => panic!("expected overload, got {other:?}"),
+        }
+        gate_tx.send(()).unwrap();
+        blocker.join().unwrap().unwrap();
+        filler.join().unwrap().unwrap();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,326 @@
+//! Request/response messages and their stream framing.
+//!
+//! Frames are `[u32 length][payload]`; the payload encodes sequence
+//! number, status/kind, method name, and body with the [`wire`](crate::wire)
+//! primitives. The same frame codec backs the TCP transport and the
+//! serialization microbenchmark.
+
+use crate::wire::{self, Reader, WireError};
+use std::io::{Read, Write};
+
+/// Hard cap on frame size (64 MiB): a corrupt length prefix must not
+/// trigger an enormous allocation.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// An RPC request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-assigned sequence number, echoed in the response.
+    pub seq: u64,
+    /// Method name, e.g. `"get"`, `"rank_stories"`.
+    pub method: String,
+    /// Serialized argument payload.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Creates a request with sequence number 0 (transports assign real
+    /// ones).
+    pub fn new(method: &str, body: Vec<u8>) -> Self {
+        Self {
+            seq: 0,
+            method: method.to_owned(),
+            body,
+        }
+    }
+
+    /// Serializes the request payload (without the frame length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.method.len() + self.body.len());
+        wire::write_uvarint(&mut out, self.seq);
+        wire::write_str(&mut out, &self.method);
+        wire::write_bytes(&mut out, &self.body);
+        out
+    }
+
+    /// Parses a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let seq = r.read_uvarint()?;
+        let method = r.read_str()?.to_owned();
+        let body = r.read_bytes()?.to_vec();
+        Ok(Self { seq, method, body })
+    }
+}
+
+/// Response status, mirroring Thrift's reply/exception split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Successful reply.
+    Ok,
+    /// Application-level error.
+    Error,
+    /// Server overloaded / queue full (used for SLO error accounting).
+    Overloaded,
+}
+
+impl Status {
+    fn to_byte(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Error => 1,
+            Status::Overloaded => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(Status::Ok),
+            1 => Ok(Status::Error),
+            2 => Ok(Status::Overloaded),
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+}
+
+/// An RPC response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request's sequence number.
+    pub seq: u64,
+    /// Outcome status.
+    pub status: Status,
+    /// Serialized result payload.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A successful response carrying `body`.
+    pub fn ok(body: Vec<u8>) -> Self {
+        Self {
+            seq: 0,
+            status: Status::Ok,
+            body,
+        }
+    }
+
+    /// An application-error response with a message body.
+    pub fn error(message: &str) -> Self {
+        Self {
+            seq: 0,
+            status: Status::Error,
+            body: message.as_bytes().to_vec(),
+        }
+    }
+
+    /// An overload response (request shed).
+    pub fn overloaded() -> Self {
+        Self {
+            seq: 0,
+            status: Status::Overloaded,
+            body: Vec::new(),
+        }
+    }
+
+    /// Whether the call succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.status == Status::Ok
+    }
+
+    /// Serializes the response payload (without the frame length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.body.len());
+        wire::write_uvarint(&mut out, self.seq);
+        out.push(self.status.to_byte());
+        wire::write_bytes(&mut out, &self.body);
+        out
+    }
+
+    /// Parses a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let seq = r.read_uvarint()?;
+        let status = Status::from_byte(r.read_u8()?)?;
+        let body = r.read_bytes()?.to_vec();
+        Ok(Self { seq, status, body })
+    }
+}
+
+/// Writes a length-prefixed frame to a stream.
+///
+/// # Errors
+///
+/// Returns an I/O error from the underlying writer, or `InvalidData` if
+/// `payload` exceeds [`MAX_FRAME`].
+pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame from a stream. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Returns an I/O error from the reader, or `InvalidData` on an oversized
+/// length prefix or mid-frame EOF.
+pub fn read_frame<R: Read>(mut r: R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean EOF (no bytes) from a truncated prefix.
+    match r.read(&mut len_buf)? {
+        0 => return Ok(None),
+        n => r.read_exact(&mut len_buf[n..])?,
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Errors surfaced to RPC callers.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Transport-level failure.
+    Io(std::io::Error),
+    /// Malformed frame or payload.
+    Wire(WireError),
+    /// The server reported an application error.
+    Application(String),
+    /// The server shed the request due to overload.
+    Overloaded,
+    /// The server is shutting down or the channel is closed.
+    Disconnected,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Io(e) => write!(f, "rpc i/o error: {e}"),
+            RpcError::Wire(e) => write!(f, "rpc wire error: {e}"),
+            RpcError::Application(m) => write!(f, "rpc application error: {m}"),
+            RpcError::Overloaded => write!(f, "rpc request shed: server overloaded"),
+            RpcError::Disconnected => write!(f, "rpc peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcError::Io(e) => Some(e),
+            RpcError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> Self {
+        RpcError::Io(e)
+    }
+}
+
+impl From<WireError> for RpcError {
+    fn from(e: WireError) -> Self {
+        RpcError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let mut req = Request::new("get_feed", vec![1, 2, 3]);
+        req.seq = 77;
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn response_round_trips_all_statuses() {
+        for resp in [
+            Response::ok(vec![9; 100]),
+            Response::error("bad key"),
+            Response::overloaded(),
+        ] {
+            let back = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(resp, back);
+        }
+    }
+
+    #[test]
+    fn status_accessors() {
+        assert!(Response::ok(vec![]).is_ok());
+        assert!(!Response::error("x").is_ok());
+        assert!(!Response::overloaded().is_ok());
+    }
+
+    #[test]
+    fn frame_round_trips_over_a_buffer() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"abc").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, &[7u8; 1000]).unwrap();
+        let mut cursor = std::io::Cursor::new(stream);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"abc");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), vec![7u8; 1000]);
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"abcdef").unwrap();
+        stream.truncate(stream.len() - 2);
+        let mut cursor = std::io::Cursor::new(stream);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_length_rejected() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = std::io::Cursor::new(stream);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn corrupt_status_byte_rejected() {
+        let mut resp = Response::ok(vec![]);
+        resp.seq = 1;
+        let mut bytes = resp.encode();
+        bytes[1] = 0xEE; // status byte follows the 1-byte seq varint
+        assert!(Response::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rpc_error_display() {
+        let e = RpcError::Application("boom".into());
+        assert!(e.to_string().contains("boom"));
+        assert!(RpcError::Overloaded.to_string().contains("overloaded"));
+    }
+}

@@ -1,0 +1,54 @@
+//! A Thrift-style RPC stack built from scratch for DCPerf-RS.
+//!
+//! Every DCPerf benchmark "is designed as a client-server application …
+//! \[communicating\] via the Thrift RPC protocol. This emulates not only
+//! the communication pattern in production, but also the RPC 'datacenter
+//! tax', which consumes a significant amount of CPU cycles and memory"
+//! (§3.1). This crate provides that substrate:
+//!
+//! * [`wire`] — compact binary encoding: ULEB128 varints, zigzag signed
+//!   integers, length-prefixed strings and binaries.
+//! * [`value`] — a dynamically-typed, Thrift-like value model
+//!   ([`Value`]) with tagged struct/list/map encoding, used both as the
+//!   RPC payload format and as the serialization "tax" kernel.
+//! * [`frame`] — request/response message framing.
+//! * [`pool`] — fixed worker thread pools with *fast/slow lane* routing,
+//!   mirroring TAO's separate thread pools for cache hits and misses.
+//! * [`server`] / [`client`] — in-process and TCP transports with
+//!   synchronous calls and parallel fan-out.
+//!
+//! # Examples
+//!
+//! An in-process echo service:
+//!
+//! ```
+//! use dcperf_rpc::{InProcServer, PoolConfig, Request, Response};
+//!
+//! let server = InProcServer::start(
+//!     |req: &Request| Response::ok(req.body.clone()),
+//!     PoolConfig::single_lane(2),
+//! );
+//! let client = server.client();
+//! let reply = client.call("echo", b"hello".to_vec())?;
+//! assert_eq!(reply.body, b"hello");
+//! server.shutdown();
+//! # Ok::<(), dcperf_rpc::RpcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod pool;
+pub mod server;
+pub mod stats;
+pub mod value;
+pub mod wire;
+
+pub use client::{FanoutResult, InProcClient, TcpClient};
+pub use frame::{Request, Response, RpcError, Status};
+pub use pool::{Lane, PoolConfig, ThreadPool};
+pub use server::{InProcServer, TcpServer};
+pub use stats::RpcStats;
+pub use value::Value;

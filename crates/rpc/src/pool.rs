@@ -1,0 +1,359 @@
+//! Fixed worker thread pools with fast/slow lane routing.
+//!
+//! TAO "utilizes separate thread pools for fast and slow paths" (§6 of the
+//! paper), and DCPerf's TaoBench reproduces that: cache hits are served by
+//! *fast* threads while misses are dispatched to *slow* threads that
+//! simulate database lookups. [`ThreadPool`] implements that structure for
+//! any [`Lane`]-classified job stream, with bounded queues so overload is
+//! observable (shed requests) rather than unbounded memory growth.
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which pool a job is routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// Latency-critical path (e.g. cache hit).
+    Fast,
+    /// Expensive path (e.g. cache miss hitting the database).
+    Slow,
+}
+
+/// Thread-pool sizing and queue depths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Number of fast-lane worker threads (0 disables the lane).
+    pub fast_threads: usize,
+    /// Number of slow-lane worker threads (0 routes everything fast).
+    pub slow_threads: usize,
+    /// Bounded queue depth per lane.
+    pub queue_depth: usize,
+}
+
+impl PoolConfig {
+    /// A single-lane pool with `threads` fast workers and a deep queue.
+    pub fn single_lane(threads: usize) -> Self {
+        Self {
+            fast_threads: threads.max(1),
+            slow_threads: 0,
+            queue_depth: 4096,
+        }
+    }
+
+    /// A fast/slow split pool, TAO-style.
+    pub fn fast_slow(fast_threads: usize, slow_threads: usize) -> Self {
+        Self {
+            fast_threads: fast_threads.max(1),
+            slow_threads,
+            queue_depth: 4096,
+        }
+    }
+
+    /// Overrides the per-lane queue depth (builder style).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters exposed by a running pool.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Jobs accepted into the fast lane.
+    pub fast_jobs: AtomicU64,
+    /// Jobs accepted into the slow lane.
+    pub slow_jobs: AtomicU64,
+    /// Jobs rejected because the target queue was full.
+    pub shed_jobs: AtomicU64,
+}
+
+/// A fixed-size worker pool with fast/slow lanes and bounded queues.
+///
+/// # Examples
+///
+/// ```
+/// use dcperf_rpc::{Lane, PoolConfig, ThreadPool};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = ThreadPool::new(PoolConfig::fast_slow(2, 1));
+/// let hits = Arc::new(AtomicU64::new(0));
+/// for _ in 0..100 {
+///     let hits = Arc::clone(&hits);
+///     pool.spawn(Lane::Fast, move || {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     })
+///     .unwrap();
+/// }
+/// pool.shutdown();
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub struct ThreadPool {
+    fast_tx: Sender<Job>,
+    slow_tx: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<PoolStats>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .field("has_slow_lane", &self.slow_tx.is_some())
+            .finish()
+    }
+}
+
+/// Error returned by [`ThreadPool::spawn`] when a job cannot be queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnError {
+    /// The lane's queue was full (overload; the job was shed).
+    QueueFull,
+    /// The pool has been shut down.
+    Shutdown,
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::QueueFull => write!(f, "thread pool queue full"),
+            SpawnError::Shutdown => write!(f, "thread pool shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+impl ThreadPool {
+    /// Creates the pool and starts its worker threads.
+    pub fn new(config: PoolConfig) -> Self {
+        let stats = Arc::new(PoolStats::default());
+        let mut workers = Vec::new();
+
+        let (fast_tx, fast_rx) = bounded::<Job>(config.queue_depth);
+        for i in 0..config.fast_threads.max(1) {
+            workers.push(Self::worker(format!("rpc-fast-{i}"), fast_rx.clone()));
+        }
+
+        let slow_tx = if config.slow_threads > 0 {
+            let (tx, rx) = bounded::<Job>(config.queue_depth);
+            for i in 0..config.slow_threads {
+                workers.push(Self::worker(format!("rpc-slow-{i}"), rx.clone()));
+            }
+            Some(tx)
+        } else {
+            None
+        };
+
+        Self {
+            fast_tx,
+            slow_tx,
+            workers,
+            stats,
+        }
+    }
+
+    fn worker(name: String, rx: Receiver<Job>) -> std::thread::JoinHandle<()> {
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+            .expect("failed to spawn pool worker")
+    }
+
+    /// Queues a job on the given lane without blocking.
+    ///
+    /// Jobs for [`Lane::Slow`] fall back to the fast lane when the pool has
+    /// no slow workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpawnError::QueueFull`] when the lane's bounded queue is
+    /// full (the overload signal TaoBench counts as a shed request) or
+    /// [`SpawnError::Shutdown`] after [`ThreadPool::shutdown`].
+    pub fn spawn<F>(&self, lane: Lane, job: F) -> Result<(), SpawnError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let (tx, counter) = match (lane, &self.slow_tx) {
+            (Lane::Slow, Some(tx)) => (tx, &self.stats.slow_jobs),
+            _ => (&self.fast_tx, &self.stats.fast_jobs),
+        };
+        match tx.try_send(Box::new(job)) {
+            Ok(()) => {
+                counter.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.shed_jobs.fetch_add(1, Ordering::Relaxed);
+                Err(SpawnError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SpawnError::Shutdown),
+        }
+    }
+
+    /// Queues a job, blocking until there is queue space (closed-loop
+    /// callers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpawnError::Shutdown`] after [`ThreadPool::shutdown`].
+    pub fn spawn_blocking<F>(&self, lane: Lane, job: F) -> Result<(), SpawnError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let (tx, counter) = match (lane, &self.slow_tx) {
+            (Lane::Slow, Some(tx)) => (tx, &self.stats.slow_jobs),
+            _ => (&self.fast_tx, &self.stats.fast_jobs),
+        };
+        tx.send(Box::new(job)).map_err(|_| SpawnError::Shutdown)?;
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Pool counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Closes the queues and joins every worker, completing queued jobs.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Dropping the senders closes the channels; workers drain and exit.
+        let (dummy_tx, _) = bounded::<Job>(1);
+        let fast = std::mem::replace(&mut self.fast_tx, dummy_tx);
+        drop(fast);
+        drop(self.slow_tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn all_jobs_run_before_shutdown_returns() {
+        let pool = ThreadPool::new(PoolConfig::single_lane(4));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1000 {
+            let done = Arc::clone(&done);
+            pool.spawn_blocking(Lane::Fast, move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn slow_lane_routes_to_slow_workers() {
+        let pool = ThreadPool::new(PoolConfig::fast_slow(1, 1));
+        let slow_ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let slow_ran = Arc::clone(&slow_ran);
+            pool.spawn_blocking(Lane::Slow, move || {
+                slow_ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(slow_ran.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn slow_jobs_fall_back_to_fast_lane_without_slow_workers() {
+        let pool = ThreadPool::new(PoolConfig::single_lane(2));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&ran);
+        pool.spawn_blocking(Lane::Slow, move || {
+            r2.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_jobs() {
+        // One worker blocked on a gate, queue depth 1: the third job must
+        // be shed.
+        let pool = ThreadPool::new(PoolConfig::single_lane(1).with_queue_depth(1));
+        let (gate_tx, gate_rx) = bounded::<()>(0);
+        pool.spawn(Lane::Fast, move || {
+            let _ = gate_rx.recv();
+        })
+        .unwrap();
+        // Give the worker a moment to pick up the blocking job.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        pool.spawn(Lane::Fast, || {}).unwrap(); // fills the queue
+        let shed = pool.spawn(Lane::Fast, || {});
+        assert_eq!(shed, Err(SpawnError::QueueFull));
+        assert_eq!(pool.stats().shed_jobs.load(Ordering::Relaxed), 1);
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn stats_count_lane_usage() {
+        let pool = ThreadPool::new(PoolConfig::fast_slow(1, 1));
+        for _ in 0..5 {
+            pool.spawn_blocking(Lane::Fast, || {}).unwrap();
+        }
+        for _ in 0..3 {
+            pool.spawn_blocking(Lane::Slow, || {}).unwrap();
+        }
+        // Counters update before shutdown completes.
+        assert_eq!(pool.stats().fast_jobs.load(Ordering::Relaxed), 5);
+        assert_eq!(pool.stats().slow_jobs.load(Ordering::Relaxed), 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn worker_count_reflects_config() {
+        let pool = ThreadPool::new(PoolConfig::fast_slow(3, 2));
+        assert_eq!(pool.worker_count(), 5);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(PoolConfig::single_lane(2));
+            for _ in 0..100 {
+                let done = Arc::clone(&done);
+                pool.spawn_blocking(Lane::Fast, move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            }
+            // No explicit shutdown: Drop must drain.
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 100);
+    }
+}

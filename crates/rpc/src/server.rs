@@ -1,0 +1,407 @@
+//! RPC servers: in-process and TCP.
+//!
+//! The in-process server is the workhorse of the single-machine DCPerf-RS
+//! benchmarks (the paper's benchmarks run all components on one server in
+//! most cases); requests still traverse real serialization, bounded queues,
+//! and a worker thread pool, so the RPC datacenter tax is paid. The TCP
+//! server provides the distributed deployment shape for the benchmarks
+//! whose clients run on other machines.
+
+use crate::frame::{read_frame, write_frame, Request, Response};
+use crate::pool::{Lane, PoolConfig, SpawnError, ThreadPool};
+use crate::stats::RpcStats;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The server-side request handler.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync + 'static;
+
+/// Routes a request to a [`Lane`] before it is queued.
+pub type Classifier = dyn Fn(&Request) -> Lane + Send + Sync + 'static;
+
+pub(crate) struct ServerCore {
+    pub(crate) handler: Arc<Handler>,
+    pub(crate) classifier: Arc<Classifier>,
+    pub(crate) pool: ThreadPool,
+    pub(crate) stats: Arc<RpcStats>,
+}
+
+impl ServerCore {
+    fn new(handler: Arc<Handler>, classifier: Arc<Classifier>, config: PoolConfig) -> Self {
+        Self {
+            handler,
+            classifier,
+            pool: ThreadPool::new(config),
+            stats: Arc::new(RpcStats::new()),
+        }
+    }
+
+    /// Dispatches a request through the pool; `reply` receives the
+    /// response. `blocking` selects closed-loop (wait for queue space) vs
+    /// open-loop (shed on full queue) semantics.
+    pub(crate) fn dispatch(
+        &self,
+        req: Request,
+        blocking: bool,
+        reply: impl FnOnce(Response) + Send + 'static,
+    ) {
+        let lane = (self.classifier)(&req);
+        let handler = Arc::clone(&self.handler);
+        let seq = req.seq;
+        let job = move || {
+            let mut resp = handler(&req);
+            resp.seq = seq;
+            reply(resp);
+        };
+        let outcome = if blocking {
+            self.pool.spawn_blocking(lane, job)
+        } else {
+            self.pool.spawn(lane, job)
+        };
+        match outcome {
+            Ok(()) => {}
+            Err(SpawnError::QueueFull) | Err(SpawnError::Shutdown) => {
+                // The job was never queued, so `reply` was consumed by the
+                // closure that the pool rejected and dropped; overload is
+                // signalled through the stats instead and the caller
+                // observes a dropped reply channel.
+            }
+        }
+    }
+}
+
+/// An in-process RPC server: clients and server share the process, but
+/// every call pays serialization, queueing, and cross-thread dispatch.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub struct InProcServer {
+    core: Arc<ServerCore>,
+}
+
+impl std::fmt::Debug for InProcServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcServer")
+            .field("workers", &self.core.pool.worker_count())
+            .finish()
+    }
+}
+
+impl InProcServer {
+    /// Starts the server with every request routed to the fast lane.
+    pub fn start<H>(handler: H, config: PoolConfig) -> Self
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        Self::start_with_classifier(handler, |_| Lane::Fast, config)
+    }
+
+    /// Starts the server with a fast/slow classifier (TAO-style).
+    pub fn start_with_classifier<H, C>(handler: H, classifier: C, config: PoolConfig) -> Self
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+        C: Fn(&Request) -> Lane + Send + Sync + 'static,
+    {
+        Self {
+            core: Arc::new(ServerCore::new(
+                Arc::new(handler),
+                Arc::new(classifier),
+                config,
+            )),
+        }
+    }
+
+    /// Creates a client handle. Handles are cheap to clone and share.
+    pub fn client(&self) -> crate::client::InProcClient {
+        crate::client::InProcClient::new(Arc::clone(&self.core))
+    }
+
+    /// Transport counters (shared with all clients).
+    pub fn stats(&self) -> &RpcStats {
+        &self.core.stats
+    }
+
+    /// Shuts the pool down, draining queued requests.
+    pub fn shutdown(self) {
+        // Last handle to the core drops the pool, which drains and joins.
+        drop(self);
+    }
+}
+
+/// A TCP RPC server on localhost or beyond, framing requests per
+/// [`crate::frame`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    core: Arc<ServerCore>,
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the listener cannot be bound.
+    pub fn bind<H>(addr: &str, handler: H, config: PoolConfig) -> std::io::Result<Self>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        Self::bind_with_classifier(addr, handler, |_| Lane::Fast, config)
+    }
+
+    /// Binds with a fast/slow classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the listener cannot be bound.
+    pub fn bind_with_classifier<H, C>(
+        addr: &str,
+        handler: H,
+        classifier: C,
+        config: PoolConfig,
+    ) -> std::io::Result<Self>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+        C: Fn(&Request) -> Lane + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let core = Arc::new(ServerCore::new(
+            Arc::new(handler),
+            Arc::new(classifier),
+            config,
+        ));
+
+        let stop2 = Arc::clone(&stop);
+        let core2 = Arc::clone(&core);
+        let accept_thread = std::thread::Builder::new()
+            .name("rpc-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let core = Arc::clone(&core2);
+                    let stop = Arc::clone(&stop2);
+                    // Connection threads are detached: they hold their own
+                    // Arc to the core and exit when the peer disconnects or
+                    // the stop flag trips (observed via the read timeout).
+                    // Joining them here would deadlock shutdown against
+                    // clients that keep their connections open.
+                    let _ = std::thread::Builder::new()
+                        .name("rpc-conn".into())
+                        .spawn(move || Self::serve_connection(stream, core, stop));
+                }
+            })?;
+
+        Ok(Self {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+            core,
+        })
+    }
+
+    fn serve_connection(stream: TcpStream, core: Arc<ServerCore>, stop: Arc<AtomicBool>) {
+        // A read timeout lets the loop observe the stop flag even while a
+        // client holds the connection open without sending.
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+        let Ok(write_half) = stream.try_clone() else {
+            return;
+        };
+        let writer = Arc::new(Mutex::new(write_half));
+        let mut reader = BufReader::new(stream);
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let frame = match read_frame(&mut reader) {
+                Ok(Some(f)) => f,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Idle timeout between frames: re-check the stop flag.
+                    continue;
+                }
+                Ok(None) | Err(_) => break,
+            };
+            let req = match Request::decode(&frame) {
+                Ok(r) => r,
+                Err(_) => break,
+            };
+            let writer = Arc::clone(&writer);
+            core.dispatch(req, true, move |resp| {
+                let payload = resp.encode();
+                if let Ok(mut w) = writer.lock() {
+                    let _ = write_frame(&mut *w, &payload);
+                }
+            });
+        }
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Transport counters.
+    pub fn stats(&self) -> &RpcStats {
+        &self.core.stats
+    }
+
+    /// Stops accepting, closes the pool, and joins server threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Poke the accept loop so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::TcpClient;
+    use crate::frame::Status;
+
+    fn echo(req: &Request) -> Response {
+        Response::ok(req.body.clone())
+    }
+
+    #[test]
+    fn inproc_round_trip() {
+        let server = InProcServer::start(echo, PoolConfig::single_lane(2));
+        let client = server.client();
+        let resp = client.call("echo", vec![1, 2, 3]).unwrap();
+        assert_eq!(resp.body, vec![1, 2, 3]);
+        assert_eq!(resp.status, Status::Ok);
+        server.shutdown();
+    }
+
+    #[test]
+    fn inproc_concurrent_clients() {
+        let server = InProcServer::start(echo, PoolConfig::single_lane(4));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let client = server.client();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u8 {
+                    let resp = client.call("echo", vec![t, i]).unwrap();
+                    assert_eq!(resp.body, vec![t, i]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.stats().responses(), 800);
+        server.shutdown();
+    }
+
+    #[test]
+    fn classifier_routes_methods() {
+        use std::sync::atomic::AtomicU64;
+        let slow_calls = Arc::new(AtomicU64::new(0));
+        let sc = Arc::clone(&slow_calls);
+        let server = InProcServer::start_with_classifier(
+            move |req: &Request| {
+                if req.method == "miss" {
+                    sc.fetch_add(1, Ordering::Relaxed);
+                }
+                Response::ok(vec![])
+            },
+            |req: &Request| {
+                if req.method == "miss" {
+                    Lane::Slow
+                } else {
+                    Lane::Fast
+                }
+            },
+            PoolConfig::fast_slow(1, 1),
+        );
+        let client = server.client();
+        client.call("hit", vec![]).unwrap();
+        client.call("miss", vec![]).unwrap();
+        client.call("miss", vec![]).unwrap();
+        assert_eq!(slow_calls.load(Ordering::Relaxed), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let server = TcpServer::bind("127.0.0.1:0", echo, PoolConfig::single_lane(2)).unwrap();
+        let addr = server.local_addr();
+        let mut client = TcpClient::connect(addr).unwrap();
+        for i in 0..50u8 {
+            let resp = client.call("echo", vec![i; 10]).unwrap();
+            assert_eq!(resp.body, vec![i; 10]);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_multiple_connections() {
+        let server = TcpServer::bind("127.0.0.1:0", echo, PoolConfig::single_lane(4)).unwrap();
+        let addr = server.local_addr();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            handles.push(std::thread::spawn(move || {
+                let mut client = TcpClient::connect(addr).unwrap();
+                for i in 0..25u8 {
+                    let resp = client.call("echo", vec![t, i]).unwrap();
+                    assert_eq!(resp.body, vec![t, i]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_application_error_propagates() {
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            |_req: &Request| Response::error("nope"),
+            PoolConfig::single_lane(1),
+        )
+        .unwrap();
+        let mut client = TcpClient::connect(server.local_addr()).unwrap();
+        let err = client.call("x", vec![]).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_shutdown_is_idempotent_via_drop() {
+        let server =
+            TcpServer::bind("127.0.0.1:0", echo, PoolConfig::single_lane(1)).unwrap();
+        drop(server); // must not hang
+    }
+}

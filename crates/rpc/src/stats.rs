@@ -1,0 +1,106 @@
+//! Transport-level counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Byte and message counters shared between a transport's endpoints.
+///
+/// All counters are monotonically increasing and safe to read while the
+/// transport is live.
+#[derive(Debug, Default)]
+pub struct RpcStats {
+    requests: AtomicU64,
+    responses: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl RpcStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_request(&self, bytes: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_response(&self, bytes: usize, ok: bool, overloaded: bool) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+        if overloaded {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+        } else if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Requests sent.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Responses received.
+    pub fn responses(&self) -> u64 {
+        self.responses.load(Ordering::Relaxed)
+    }
+
+    /// Application-error responses received.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Overload (shed) responses received.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Request bytes sent (payload, pre-framing).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Response bytes received (payload, pre-framing).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Error rate among received responses (0.0 when none received).
+    pub fn error_rate(&self) -> f64 {
+        let responses = self.responses();
+        if responses == 0 {
+            0.0
+        } else {
+            (self.errors() + self.shed()) as f64 / responses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = RpcStats::new();
+        s.record_request(100);
+        s.record_request(50);
+        s.record_response(10, true, false);
+        s.record_response(0, false, true);
+        s.record_response(5, false, false);
+        assert_eq!(s.requests(), 2);
+        assert_eq!(s.responses(), 3);
+        assert_eq!(s.errors(), 1);
+        assert_eq!(s.shed(), 1);
+        assert_eq!(s.bytes_sent(), 150);
+        assert_eq!(s.bytes_received(), 15);
+        assert!((s.error_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_rate_of_empty_stats_is_zero() {
+        assert_eq!(RpcStats::new().error_rate(), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the RPC wire formats: values, requests, responses,
+//! and frames all round-trip, and decoders reject garbage without
+//! panicking.
+
+use dcperf_rpc::{frame, Request, Response, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy for arbitrary (bounded-depth) RPC values.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::I64),
+        (-1e300f64..1e300).prop_map(Value::F64),
+        ".{0,24}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bin),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
+            proptest::collection::vec((".{0,12}", inner.clone()), 0..6).prop_map(|pairs| {
+                let map: BTreeMap<String, Value> = pairs.into_iter().collect();
+                Value::Map(map)
+            }),
+            proptest::collection::vec((any::<u32>(), inner), 0..6).prop_map(Value::Struct),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn values_round_trip(value in value_strategy()) {
+        let bytes = value.encode();
+        let back = Value::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, value);
+    }
+
+    #[test]
+    fn value_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Value::decode(&data);
+    }
+
+    #[test]
+    fn requests_round_trip(
+        seq in any::<u64>(),
+        method in "[a-z_]{1,24}",
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let req = Request { seq, method, body };
+        prop_assert_eq!(Request::decode(&req.encode()).expect("decodes"), req);
+    }
+
+    #[test]
+    fn responses_round_trip(
+        seq in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        kind in 0u8..3,
+    ) {
+        let mut resp = match kind {
+            0 => Response::ok(body),
+            1 => Response::error(&String::from_utf8_lossy(&body)),
+            _ => Response::overloaded(),
+        };
+        resp.seq = seq;
+        prop_assert_eq!(Response::decode(&resp.encode()).expect("decodes"), resp);
+    }
+
+    #[test]
+    fn frames_round_trip_over_streams(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..512), 0..8),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            frame::write_frame(&mut stream, p).expect("in-memory write succeeds");
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for p in &payloads {
+            let got = frame::read_frame(&mut cursor).expect("reads").expect("present");
+            prop_assert_eq!(&got, p);
+        }
+        prop_assert!(frame::read_frame(&mut cursor).expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn request_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&data);
+        let _ = Response::decode(&data);
+    }
+}

@@ -1,0 +1,180 @@
+//! Concurrency-management kernels: the "ThreadManager" tax slice.
+//!
+//! Production thread managers pay for lock handoffs, contended atomics,
+//! and queue transfers. Each kernel here runs a fixed amount of work across
+//! `threads` workers and returns the observed operation count so callers
+//! can compute ops/sec, and so scalability collapse (e.g. a global counter
+//! at high core counts, §5.3 of the paper) is directly measurable.
+
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Increments a single mutex-protected counter from `threads` workers,
+/// `per_thread` times each. Returns the final count.
+///
+/// This is the worst-case shared-state kernel: all workers serialize on
+/// one lock, exactly the `tg->load_avg` pathology of §5.3.
+pub fn contended_mutex_counter(threads: usize, per_thread: u64) -> u64 {
+    let counter = Arc::new(Mutex::new(0u64));
+    let mut handles = Vec::new();
+    for _ in 0..threads.max(1) {
+        let counter = Arc::clone(&counter);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..per_thread {
+                *counter.lock() += 1;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("counter worker panicked");
+    }
+    let v = *counter.lock();
+    v
+}
+
+/// The same increment load against a relaxed atomic — the "ratelimited /
+/// distributed counter" fix: cache-line ping-pong but no lock handoff.
+pub fn contended_atomic_counter(threads: usize, per_thread: u64) -> u64 {
+    let counter = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..threads.max(1) {
+        let counter = Arc::clone(&counter);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..per_thread {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("counter worker panicked");
+    }
+    counter.load(Ordering::Relaxed)
+}
+
+/// Per-thread sharded counters folded at the end — the scalable design.
+pub fn sharded_counter(threads: usize, per_thread: u64) -> u64 {
+    let shards: Vec<Arc<AtomicU64>> = (0..threads.max(1))
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+    let mut handles = Vec::new();
+    for shard in &shards {
+        let shard = Arc::clone(shard);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..per_thread {
+                shard.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("counter worker panicked");
+    }
+    shards.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+}
+
+/// Streams `messages` items from `producers` producer threads to an equal
+/// number of consumers over a bounded MPMC channel. Returns the number of
+/// items received.
+pub fn queue_throughput(producers: usize, messages: u64) -> u64 {
+    let producers = producers.max(1);
+    let (tx, rx) = bounded::<u64>(1024);
+    let received = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let tx = tx.clone();
+        let share = messages / producers as u64
+            + if (p as u64) < messages % producers as u64 { 1 } else { 0 };
+        handles.push(std::thread::spawn(move || {
+            for i in 0..share {
+                tx.send(i).expect("consumer hung up early");
+            }
+        }));
+    }
+    drop(tx);
+    for _ in 0..producers {
+        let rx = rx.clone();
+        let received = Arc::clone(&received);
+        handles.push(std::thread::spawn(move || {
+            while rx.recv().is_ok() {
+                received.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("queue worker panicked");
+    }
+    received.load(Ordering::Relaxed)
+}
+
+/// Lock-handoff ping-pong between two threads `rounds` times; returns the
+/// number of completed handoffs. Measures wake-up latency cost.
+pub fn lock_handoff(rounds: u64) -> u64 {
+    let (tx_a, rx_a) = bounded::<u64>(1);
+    let (tx_b, rx_b) = bounded::<u64>(1);
+    let ponger = std::thread::spawn(move || {
+        let mut count = 0u64;
+        while let Ok(v) = rx_a.recv() {
+            if tx_b.send(v + 1).is_err() {
+                break;
+            }
+            count += 1;
+        }
+        count
+    });
+    let mut completed = 0u64;
+    for i in 0..rounds {
+        if tx_a.send(i).is_err() {
+            break;
+        }
+        if rx_b.recv().is_err() {
+            break;
+        }
+        completed += 1;
+    }
+    drop(tx_a);
+    let _ = ponger.join();
+    completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_counter_is_exact() {
+        assert_eq!(contended_mutex_counter(4, 10_000), 40_000);
+    }
+
+    #[test]
+    fn atomic_counter_is_exact() {
+        assert_eq!(contended_atomic_counter(4, 10_000), 40_000);
+    }
+
+    #[test]
+    fn sharded_counter_is_exact() {
+        assert_eq!(sharded_counter(4, 10_000), 40_000);
+    }
+
+    #[test]
+    fn counters_handle_zero_threads() {
+        assert_eq!(contended_mutex_counter(0, 10), 10);
+        assert_eq!(contended_atomic_counter(0, 10), 10);
+        assert_eq!(sharded_counter(0, 10), 10);
+    }
+
+    #[test]
+    fn queue_delivers_every_message() {
+        assert_eq!(queue_throughput(3, 10_000), 10_000);
+        assert_eq!(queue_throughput(1, 0), 0);
+        // Uneven split.
+        assert_eq!(queue_throughput(3, 10), 10);
+    }
+
+    #[test]
+    fn lock_handoff_completes_all_rounds() {
+        assert_eq!(lock_handoff(1000), 1000);
+        assert_eq!(lock_handoff(0), 0);
+    }
+}

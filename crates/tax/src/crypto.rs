@@ -1,0 +1,434 @@
+//! Cryptographic kernels: SHA-256, HMAC-SHA-256, and ChaCha20.
+//!
+//! FeedSim's stack includes "Crypto (OpenSSL, libsodium, fizz)" (Table 2);
+//! TLS-terminating services pay hashing and stream-cipher cycles on every
+//! response. These are complete, test-vector-verified implementations —
+//! *not* for protecting real secrets (no constant-time guarantees), but
+//! instruction-accurate stand-ins for the crypto tax.
+
+// --------------------------------------------------------------------------
+// SHA-256
+// --------------------------------------------------------------------------
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+const SHA256_H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use dcperf_tax::crypto::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(
+///     hex(&digest),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+///
+/// fn hex(bytes: &[u8]) -> String {
+///     bytes.iter().map(|b| format!("{b:02x}")).collect()
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length_bits: u64,
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self {
+            state: SHA256_H0,
+            buffer: [0; 64],
+            buffered: 0,
+            length_bits: 0,
+        }
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length_bits = self.length_bits.wrapping_add((data.len() as u64) * 8);
+        let mut rest = data;
+        if self.buffered > 0 {
+            let take = rest.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        let mut chunks = rest.chunks_exact(64);
+        for block in &mut chunks {
+            self.compress(block.try_into().expect("64-byte block"));
+        }
+        let rem = chunks.remainder();
+        self.buffer[..rem.len()].copy_from_slice(rem);
+        self.buffered = rem.len();
+    }
+
+    /// Pads and produces the digest, consuming the hasher.
+    pub fn finalize(mut self) -> [u8; 32] {
+        self.raw_update_padding();
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn raw_update_padding(&mut self) {
+        let length_bits = self.length_bits;
+        // 0x80, zeros, then the 64-bit big-endian bit length.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let pad_len = if self.buffered < 56 {
+            56 - self.buffered
+        } else {
+            120 - self.buffered
+        };
+        pad[pad_len..pad_len + 8].copy_from_slice(&length_bits.to_be_bytes());
+        // Bypass length accounting for padding bytes.
+        let total = pad_len + 8;
+        let mut rest = &pad[..total];
+        while !rest.is_empty() {
+            let take = rest.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        debug_assert_eq!(self.buffered, 0);
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// HMAC-SHA-256 of `message` under `key` (RFC 2104).
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        key_block[..32].copy_from_slice(&Sha256::digest(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+// --------------------------------------------------------------------------
+// ChaCha20
+// --------------------------------------------------------------------------
+
+/// The ChaCha20 stream cipher (RFC 8439 block function).
+///
+/// Encryption and decryption are the same operation (XOR keystream).
+///
+/// # Examples
+///
+/// ```
+/// use dcperf_tax::crypto::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [9u8; 12];
+/// let mut data = b"attack at dawn".to_vec();
+/// ChaCha20::new(&key, &nonce, 1).apply(&mut data);
+/// assert_ne!(&data, b"attack at dawn");
+/// ChaCha20::new(&key, &nonce, 1).apply(&mut data);
+/// assert_eq!(&data, b"attack at dawn");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher from a 256-bit key, 96-bit nonce, and initial
+    /// block counter.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4"));
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4"));
+        }
+        Self { state }
+    }
+
+    #[inline]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn block(&self, counter: u32) -> [u8; 64] {
+        let mut working = self.state;
+        working[12] = counter;
+        let initial = working;
+        for _ in 0..10 {
+            // Column rounds.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(initial[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream into `data` in place, starting at the
+    /// construction-time counter.
+    pub fn apply(&self, data: &mut [u8]) {
+        let base = self.state[12];
+        for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(base.wrapping_add(block_idx as u32));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_standard_vectors() {
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        for split in [0usize, 1, 63, 64, 65, 100, 999] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha256::digest(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn hmac_rfc4231_vectors() {
+        // RFC 4231 test case 1.
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // Test case 2 ("Jefe").
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn hmac_long_key_is_hashed_first() {
+        let long_key = [0xaau8; 131];
+        let mac = hmac_sha256(&long_key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        // RFC 4231 test case 6.
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn chacha20_rfc8439_block_vector() {
+        // RFC 8439 §2.3.2 test vector.
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let cipher = ChaCha20::new(&key, &nonce, 1);
+        let block = cipher.block(1);
+        assert_eq!(
+            hex(&block[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+    }
+
+    #[test]
+    fn chacha20_rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2.
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        ChaCha20::new(&key, &nonce, 1).apply(&mut data);
+        assert_eq!(hex(&data[..16]), "6e2e359a2568f98041ba0728dd0d6981");
+    }
+
+    #[test]
+    fn chacha20_round_trips_many_sizes() {
+        let key = [3u8; 32];
+        let nonce = [5u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let mut data = original.clone();
+            ChaCha20::new(&key, &nonce, 0).apply(&mut data);
+            if len > 8 {
+                assert_ne!(data, original);
+            }
+            ChaCha20::new(&key, &nonce, 0).apply(&mut data);
+            assert_eq!(data, original, "len={len}");
+        }
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        ChaCha20::new(&key, &[0u8; 12], 0).apply(&mut a);
+        ChaCha20::new(&key, &[1u8; 12], 0).apply(&mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,160 @@
+//! Non-cryptographic hashing kernels: FNV-1a, a 64-bit block-mixing hash
+//! (`dcx64`), and table-driven CRC-32.
+//!
+//! Hashing is one of the paper's named tax categories (Figure 12 has an
+//! explicit "Hashing" slice). These three span the instruction-mix range
+//! of production hashes: byte-serial multiply (FNV), wide block mixing
+//! with rotates (xxHash-style), and table lookups (CRC).
+
+/// FNV-1a over `bytes` (64-bit).
+///
+/// # Examples
+///
+/// ```
+/// use dcperf_tax::hash::fnv1a;
+///
+/// assert_ne!(fnv1a(b"key1"), fnv1a(b"key2"));
+/// assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const DCX_PRIME_1: u64 = 0x9E37_79B1_85EB_CA87;
+const DCX_PRIME_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const DCX_PRIME_3: u64 = 0x1656_67B1_9E37_79F9;
+
+/// A 64-bit block hash in the xxHash family: processes 8-byte lanes with
+/// multiply-rotate mixing, then avalanches the tail.
+///
+/// Seeded, so independent tables can use independent hash streams.
+pub fn dcx64(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = seed
+        .wrapping_add(DCX_PRIME_3)
+        .wrapping_add(bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h ^= lane.wrapping_mul(DCX_PRIME_1).rotate_left(31).wrapping_mul(DCX_PRIME_2);
+        h = h.rotate_left(27).wrapping_mul(DCX_PRIME_1).wrapping_add(DCX_PRIME_3);
+    }
+    for &b in chunks.remainder() {
+        h ^= (b as u64).wrapping_mul(DCX_PRIME_3);
+        h = h.rotate_left(11).wrapping_mul(DCX_PRIME_1);
+    }
+    // Final avalanche.
+    h ^= h >> 33;
+    h = h.wrapping_mul(DCX_PRIME_2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(DCX_PRIME_3);
+    h ^ (h >> 32)
+}
+
+/// The CRC-32 (IEEE 802.3) lookup table, built at first use.
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// use dcperf_tax::hash::crc32;
+///
+/// // Standard check value for "123456789".
+/// assert_eq!(crc32(b"123456789"), 0xCBF43926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+    }
+
+    #[test]
+    fn dcx64_is_deterministic_and_seed_sensitive() {
+        let data = b"some moderately long input for the block hash";
+        assert_eq!(dcx64(data, 1), dcx64(data, 1));
+        assert_ne!(dcx64(data, 1), dcx64(data, 2));
+    }
+
+    #[test]
+    fn dcx64_length_extension_differs() {
+        assert_ne!(dcx64(b"abc", 0), dcx64(b"abc\0", 0));
+        assert_ne!(dcx64(b"", 0), dcx64(b"\0", 0));
+    }
+
+    #[test]
+    fn dcx64_avalanche_on_single_bit() {
+        let a = dcx64(b"helloworld000000", 0);
+        let b = dcx64(b"helloworld000001", 0);
+        let differing = (a ^ b).count_ones();
+        assert!(differing > 16, "poor avalanche: only {differing} bits flipped");
+    }
+
+    #[test]
+    fn dcx64_distributes_over_buckets() {
+        let buckets = 64usize;
+        let mut counts = vec![0u32; buckets];
+        for i in 0..64_000u64 {
+            let h = dcx64(&i.to_le_bytes(), 0);
+            counts[(h % buckets as u64) as usize] += 1;
+        }
+        let expect = 64_000 / buckets as u32;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expect as i64).abs() < expect as i64 / 4,
+                "bucket {i} has {c}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn hashes_handle_all_lengths() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        for len in 0..64 {
+            let _ = fnv1a(&data[..len]);
+            let _ = dcx64(&data[..len], 7);
+            let _ = crc32(&data[..len]);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Record-batch serialization, the "Serialization" tax slice of Figure 12.
+//!
+//! Models the hot path of Thrift/row-format serializers: typed fields,
+//! varint integers, length-prefixed strings, batched rows. SparkBench uses
+//! the same codec for shuffle spills, so the tax is paid where production
+//! pays it.
+
+/// A typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A signed integer (zigzag varint).
+    I64(i64),
+    /// A double.
+    F64(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+}
+
+/// One record: an ordered list of field values. The schema (field names
+/// and types) is carried out of band, as in columnar formats.
+pub type Record = Vec<FieldValue>;
+
+/// Errors from decoding a record batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerializeError {
+    /// Input ended early.
+    Truncated,
+    /// Unknown field type tag.
+    BadTag(u8),
+    /// Invalid UTF-8 in a string field.
+    BadUtf8,
+    /// Varint malformed.
+    BadVarint,
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Truncated => write!(f, "record batch truncated"),
+            SerializeError::BadTag(t) => write!(f, "unknown field tag {t}"),
+            SerializeError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            SerializeError::BadVarint => write!(f, "malformed varint"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+const TAG_I64: u8 = 1;
+const TAG_F64: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BYTES: u8 = 4;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, SerializeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos).ok_or(SerializeError::Truncated)?;
+        *pos += 1;
+        if shift >= 63 && b > 1 {
+            return Err(SerializeError::BadVarint);
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(SerializeError::BadVarint);
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Serializes a batch of records into `out`, returning bytes written.
+pub fn encode_batch(records: &[Record], out: &mut Vec<u8>) -> usize {
+    let before = out.len();
+    put_varint(out, records.len() as u64);
+    for record in records {
+        put_varint(out, record.len() as u64);
+        for field in record {
+            match field {
+                FieldValue::I64(v) => {
+                    out.push(TAG_I64);
+                    put_varint(out, zigzag(*v));
+                }
+                FieldValue::F64(v) => {
+                    out.push(TAG_F64);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                FieldValue::Str(s) => {
+                    out.push(TAG_STR);
+                    put_varint(out, s.len() as u64);
+                    out.extend_from_slice(s.as_bytes());
+                }
+                FieldValue::Bytes(b) => {
+                    out.push(TAG_BYTES);
+                    put_varint(out, b.len() as u64);
+                    out.extend_from_slice(b);
+                }
+            }
+        }
+    }
+    out.len() - before
+}
+
+/// Decodes a batch written by [`encode_batch`], returning the records and
+/// the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns a [`SerializeError`] on malformed input.
+pub fn decode_batch(buf: &[u8]) -> Result<(Vec<Record>, usize), SerializeError> {
+    let mut pos = 0usize;
+    let n_records = get_varint(buf, &mut pos)? as usize;
+    if n_records > buf.len() {
+        return Err(SerializeError::Truncated);
+    }
+    let mut records = Vec::with_capacity(n_records.min(4096));
+    for _ in 0..n_records {
+        let n_fields = get_varint(buf, &mut pos)? as usize;
+        if n_fields > buf.len() {
+            return Err(SerializeError::Truncated);
+        }
+        let mut record = Vec::with_capacity(n_fields.min(256));
+        for _ in 0..n_fields {
+            let tag = *buf.get(pos).ok_or(SerializeError::Truncated)?;
+            pos += 1;
+            let field = match tag {
+                TAG_I64 => FieldValue::I64(unzigzag(get_varint(buf, &mut pos)?)),
+                TAG_F64 => {
+                    let bytes = buf
+                        .get(pos..pos + 8)
+                        .ok_or(SerializeError::Truncated)?;
+                    pos += 8;
+                    FieldValue::F64(f64::from_le_bytes(bytes.try_into().expect("8")))
+                }
+                TAG_STR => {
+                    let len = get_varint(buf, &mut pos)? as usize;
+                    let bytes = buf
+                        .get(pos..pos.checked_add(len).ok_or(SerializeError::Truncated)?)
+                        .ok_or(SerializeError::Truncated)?;
+                    pos += len;
+                    FieldValue::Str(
+                        std::str::from_utf8(bytes)
+                            .map_err(|_| SerializeError::BadUtf8)?
+                            .to_owned(),
+                    )
+                }
+                TAG_BYTES => {
+                    let len = get_varint(buf, &mut pos)? as usize;
+                    let bytes = buf
+                        .get(pos..pos.checked_add(len).ok_or(SerializeError::Truncated)?)
+                        .ok_or(SerializeError::Truncated)?;
+                    pos += len;
+                    FieldValue::Bytes(bytes.to_vec())
+                }
+                other => return Err(SerializeError::BadTag(other)),
+            };
+            record.push(field);
+        }
+        records.push(record);
+    }
+    Ok((records, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            vec![
+                FieldValue::I64(-42),
+                FieldValue::F64(3.25),
+                FieldValue::Str("user_9".into()),
+                FieldValue::Bytes(vec![1, 2, 3]),
+            ],
+            vec![FieldValue::I64(i64::MAX)],
+            vec![],
+            vec![FieldValue::Str(String::new())],
+        ]
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        let written = encode_batch(&records, &mut buf);
+        assert_eq!(written, buf.len());
+        let (decoded, consumed) = decode_batch(&buf).unwrap();
+        assert_eq!(decoded, records);
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let mut buf = Vec::new();
+        encode_batch(&[], &mut buf);
+        let (decoded, _) = decode_batch(&buf).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn concatenated_batches_decode_sequentially() {
+        let mut buf = Vec::new();
+        encode_batch(&sample_records(), &mut buf);
+        let first_len = buf.len();
+        encode_batch(&[vec![FieldValue::I64(7)]], &mut buf);
+        let (a, consumed) = decode_batch(&buf).unwrap();
+        assert_eq!(consumed, first_len);
+        assert_eq!(a, sample_records());
+        let (b, _) = decode_batch(&buf[consumed..]).unwrap();
+        assert_eq!(b, vec![vec![FieldValue::I64(7)]]);
+    }
+
+    #[test]
+    fn truncation_is_an_error_never_a_panic() {
+        let mut buf = Vec::new();
+        encode_batch(&sample_records(), &mut buf);
+        for cut in 0..buf.len() {
+            let _ = decode_batch(&buf[..cut]);
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1); // 1 record
+        put_varint(&mut buf, 1); // 1 field
+        buf.push(0xEE); // bogus tag
+        assert_eq!(decode_batch(&buf), Err(SerializeError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 1);
+        buf.push(TAG_STR);
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(decode_batch(&buf), Err(SerializeError::BadUtf8));
+    }
+
+    #[test]
+    fn integers_use_zigzag_compactness() {
+        let mut small = Vec::new();
+        encode_batch(&[vec![FieldValue::I64(-1)]], &mut small);
+        let mut large = Vec::new();
+        encode_batch(&[vec![FieldValue::I64(i64::MIN)]], &mut large);
+        assert!(small.len() < large.len());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the tax codecs: every compressor round-trips on
+//! arbitrary bytes, decoders never panic on corrupt input, and crypto
+//! primitives hold their structural properties.
+
+use dcperf_tax::{compress, crypto, hash, serialize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lz_round_trips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let packed = compress::lz_compress(&data);
+        let unpacked = compress::lz_decompress(&packed).expect("own stream decodes");
+        prop_assert_eq!(unpacked, data);
+    }
+
+    #[test]
+    fn lz_round_trips_repetitive_bytes(
+        pattern in proptest::collection::vec(any::<u8>(), 1..64),
+        repeats in 1usize..400,
+    ) {
+        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * repeats).copied().collect();
+        let packed = compress::lz_compress(&data);
+        prop_assert_eq!(compress::lz_decompress(&packed).expect("decodes"), data);
+    }
+
+    #[test]
+    fn lz_decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..4_096)) {
+        let _ = compress::lz_decompress(&data); // may error, must not panic
+    }
+
+    #[test]
+    fn rle_round_trips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let packed = compress::rle_compress(&data);
+        prop_assert_eq!(compress::rle_decompress(&packed).expect("decodes"), data);
+    }
+
+    #[test]
+    fn rle_decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..4_096)) {
+        let _ = compress::rle_decompress(&data);
+    }
+
+    #[test]
+    fn sha256_incremental_matches_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..4_096),
+        split in 0usize..4_096,
+    ) {
+        let split = split.min(data.len());
+        let mut h = crypto::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), crypto::Sha256::digest(&data));
+    }
+
+    #[test]
+    fn chacha20_is_an_involution(
+        data in proptest::collection::vec(any::<u8>(), 0..2_048),
+        key in proptest::array::uniform32(any::<u8>()),
+        counter in any::<u32>(),
+    ) {
+        let nonce = [7u8; 12];
+        let mut buf = data.clone();
+        crypto::ChaCha20::new(&key, &nonce, counter).apply(&mut buf);
+        crypto::ChaCha20::new(&key, &nonce, counter).apply(&mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn hmac_differs_across_keys(
+        message in proptest::collection::vec(any::<u8>(), 1..512),
+        key_a in proptest::collection::vec(any::<u8>(), 1..64),
+        key_b in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        prop_assume!(key_a != key_b);
+        prop_assert_ne!(
+            crypto::hmac_sha256(&key_a, &message),
+            crypto::hmac_sha256(&key_b, &message)
+        );
+    }
+
+    #[test]
+    fn hashes_are_pure_functions(data in proptest::collection::vec(any::<u8>(), 0..1_024)) {
+        prop_assert_eq!(hash::fnv1a(&data), hash::fnv1a(&data));
+        prop_assert_eq!(hash::dcx64(&data, 5), hash::dcx64(&data, 5));
+        prop_assert_eq!(hash::crc32(&data), hash::crc32(&data));
+    }
+
+    #[test]
+    fn record_batches_round_trip(
+        records in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    any::<i64>().prop_map(serialize::FieldValue::I64),
+                    // Finite doubles only: NaN breaks PartialEq comparison.
+                    (-1e300f64..1e300).prop_map(serialize::FieldValue::F64),
+                    ".{0,40}".prop_map(serialize::FieldValue::Str),
+                    proptest::collection::vec(any::<u8>(), 0..64)
+                        .prop_map(serialize::FieldValue::Bytes),
+                ],
+                0..8,
+            ),
+            0..16,
+        )
+    ) {
+        let mut buf = Vec::new();
+        serialize::encode_batch(&records, &mut buf);
+        let (decoded, consumed) = serialize::decode_batch(&buf).expect("own batch decodes");
+        prop_assert_eq!(decoded, records);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn decode_batch_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..1_024)) {
+        let _ = serialize::decode_batch(&data);
+    }
+
+    #[test]
+    fn truncated_lz_streams_error_not_panic(
+        data in proptest::collection::vec(any::<u8>(), 1..2_048),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let packed = compress::lz_compress(&data);
+        let cut = ((packed.len() as f64) * cut_frac) as usize;
+        if cut < packed.len() {
+            prop_assert!(compress::lz_decompress(&packed[..cut]).is_err());
+        }
+    }
+}

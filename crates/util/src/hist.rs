@@ -1,0 +1,386 @@
+//! HDR-style log-bucketed histogram for latency recording.
+//!
+//! The DCPerf benchmarks measure latency *distributions* (e.g. FeedSim's
+//! P95 ≤ 500 ms SLO), so the recorder must capture values spanning
+//! nanoseconds to minutes with bounded memory and bounded relative error.
+//! [`Histogram`] buckets values logarithmically: each power-of-two range is
+//! split into 32 linear sub-buckets, giving a worst-case relative error of
+//! about 3% — ample for percentile reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of linear sub-buckets per power-of-two range. Must be a power of
+/// two.
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Number of power-of-two ranges covering all of `u64`.
+const RANGES: usize = 64;
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Records in O(1), answers percentile queries in O(buckets), merges with
+/// other histograms, and serializes to JSON as part of benchmark reports.
+///
+/// # Examples
+///
+/// ```
+/// use dcperf_util::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.value_at_percentile(50.0);
+/// assert!((450..=560).contains(&p50), "p50={p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; RANGES * SUB_BUCKETS],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Maps a value to its bucket index.
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let range = msb - SUB_BITS + 1;
+        let sub = (value >> (msb - SUB_BITS)) as usize & (SUB_BUCKETS - 1);
+        (range as usize) * SUB_BUCKETS + sub + SUB_BUCKETS
+    }
+
+    /// Representative (upper-bound) value for a bucket index.
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let idx = index - SUB_BUCKETS;
+        let range = (idx / SUB_BUCKETS) as u32;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        let msb = range + SUB_BITS - 1;
+        let base = 1u64 << msb;
+        let step = 1u64 << (msb - SUB_BITS);
+        // Ordered to avoid overflow in the topmost bucket, where
+        // `base + (sub + 1) * step` is exactly 2^64.
+        (base - 1) + (sub + 1) * step
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::bucket_index(value);
+        self.counts[idx] += n;
+        self.total += n;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value as u128 * n as u128;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at the given percentile (0–100).
+    ///
+    /// Returns an upper bound for the bucket containing the requested rank,
+    /// so the result is never smaller than the true percentile value and at
+    /// most ~3% larger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not within `0.0..=100.0`.
+    pub fn value_at_percentile(&self, pct: f64) -> u64 {
+        assert!(
+            (0.0..=100.0).contains(&pct),
+            "percentile must be within 0..=100, got {pct}"
+        );
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((pct / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience accessor for the median.
+    pub fn p50(&self) -> u64 {
+        self.value_at_percentile(50.0)
+    }
+
+    /// Convenience accessor for the 95th percentile (the paper's newsfeed
+    /// SLO percentile).
+    pub fn p95(&self) -> u64 {
+        self.value_at_percentile(95.0)
+    }
+
+    /// Convenience accessor for the 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.value_at_percentile(99.0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Clears all recorded samples.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        self.sum = 0;
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Display for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={} p50={} p95={} p99={} max={} mean={:.1}",
+            self.count(),
+            self.min(),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.max(),
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.value_at_percentile(99.0), 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.value_at_percentile(100.0), 42);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        // Values below SUB_BUCKETS land in exact unit buckets.
+        assert_eq!(h.value_at_percentile(100.0 / SUB_BUCKETS as f64), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn percentile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for pct in [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9] {
+            let est = h.value_at_percentile(pct) as f64;
+            let truth = pct / 100.0 * 100_000.0;
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.04, "pct={pct} est={est} truth={truth} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for i in 0..1000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i) % 10_000_000;
+            h.record(x);
+        }
+        let mut last = 0;
+        for p in 1..=100 {
+            let v = h.value_at_percentile(p as f64);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..57 {
+            a.record(123_456);
+        }
+        b.record_n(123_456, 57);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 1..500u64 {
+            a.record(v * 3);
+            whole.record(v * 3);
+        }
+        for v in 1..500u64 {
+            b.record(v * 7 + 1_000_000);
+            whole.record(v * 7 + 1_000_000);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(1u64 << 40);
+        h.reset();
+        assert_eq!(h, Histogram::new());
+    }
+
+    #[test]
+    fn handles_extreme_values() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.value_at_percentile(100.0), u64::MAX);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(60);
+        assert!((h.mean() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be within")]
+    fn rejects_out_of_range_percentile() {
+        let h = Histogram::new();
+        let _ = h.value_at_percentile(101.0);
+    }
+
+    #[test]
+    fn bucket_round_trip_bounds() {
+        // The representative value of a bucket must map back to the same
+        // bucket, and must be >= any value that maps into the bucket.
+        for value in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            65_535,
+            1 << 20,
+            (1 << 20) + 12345,
+            1 << 40,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = Histogram::bucket_index(value);
+            let rep = Histogram::bucket_value(idx);
+            assert!(rep >= value, "rep {rep} < value {value}");
+            assert_eq!(
+                Histogram::bucket_index(rep),
+                idx,
+                "value {value} rep {rep} changed bucket"
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the statistical substrate: histogram accuracy
+//! bounds, distribution ranges, and RNG determinism.
+
+use dcperf_util::{Empirical, Histogram, Rng, Xoshiro256pp, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn histogram_percentiles_within_relative_error(
+        values in proptest::collection::vec(1u64..1_000_000_000, 1..500),
+    ) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for pct in [50.0, 90.0, 95.0, 99.0] {
+            let est = hist.value_at_percentile(pct);
+            let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+            let truth = sorted[rank.min(sorted.len() - 1)];
+            // Log-bucketed estimate: never below the truth, at most ~3.5% above.
+            prop_assert!(est >= truth, "pct {}: est {} < truth {}", pct, est, truth);
+            prop_assert!(
+                (est as f64) <= truth as f64 * 1.035 + 1.0,
+                "pct {}: est {} too far above truth {}", pct, est, truth
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_commutes(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_count_and_bounds(values in proptest::collection::vec(any::<u64>(), 1..300)) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        prop_assert_eq!(hist.min(), *values.iter().min().expect("non-empty"));
+        prop_assert_eq!(hist.max(), *values.iter().max().expect("non-empty"));
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range(
+        n in 1u64..1_000_000,
+        s in 0.1f64..2.5,
+        seed in any::<u64>(),
+    ) {
+        let zipf = Zipf::new(n, s).expect("valid params");
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn empirical_indices_in_range(
+        weights in proptest::collection::vec(0.0f64..100.0, 1..20),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let dist = Empirical::new(&weights).expect("valid weights");
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(dist.sample(&mut rng) < weights.len());
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = Xoshiro256pp::seed_from_u64(seed);
+        let mut b = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_uniform_bounds(lo in 0u64..1000, span in 1u64..1000, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..100 {
+            let v = rng.gen_range(lo, lo + span);
+            prop_assert!(v >= lo && v < lo + span);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! DjangoBench: the Instagram-style web-serving benchmark.
+//!
+//! "DjangoBench uses Python, Django, and UWSGI as the backend serving
+//! stack. Unlike MediaWiki's multi-threading model, UWSGI uses a
+//! multi-process model, spawning a number of worker processes equal to the
+//! number of logical CPU cores … DjangoBench uses Apache Cassandra as the
+//! backend database and Memcached as the cache. During benchmarking, the
+//! load generator visits several endpoints, such as feed, timeline, seen,
+//! and inbox." (§3.2)
+//!
+//! The architectural properties reproduced here:
+//!
+//! * **Share-nothing worker-per-core concurrency**: one [`WorkerState`]
+//!   per logical CPU, each owning its own partition of the wide-row store;
+//!   requests are routed by user id and serialize only within one worker,
+//!   exactly as UWSGI processes do. (Rust threads stand in for the
+//!   processes; the share-nothing state partitioning is what matters for
+//!   scaling behaviour.)
+//! * **Cassandra-flavoured storage**: partition-key + clustering-key
+//!   access with range scans ([`WideRowStore`]).
+//! * **Memcached cache** in front of the hot feed path.
+//! * The production endpoint mix: `feed`, `timeline`, `seen`, `inbox`.
+
+use crate::store::WideRowStore;
+use dcperf_core::{
+    Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory,
+};
+use dcperf_kvstore::{Cache, CacheConfig};
+use dcperf_loadgen::{ClosedLoop, EndpointMix, Service, ServiceError};
+use dcperf_tax::{compress, hash, serialize};
+use dcperf_util::{SplitMix64, Zipf};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Tunable parameters.
+#[derive(Debug, Clone)]
+pub struct DjangoBenchConfig {
+    /// Users per worker (scaled by run scale).
+    pub base_users_per_worker: u64,
+    /// Timeline entries per user at install time.
+    pub columns_per_user: u64,
+    /// Zipf skew of user popularity.
+    pub zipf_exponent: f64,
+    /// Base measurement duration (scaled by run scale).
+    pub base_duration: Duration,
+}
+
+impl Default for DjangoBenchConfig {
+    fn default() -> Self {
+        Self {
+            base_users_per_worker: 2_000,
+            columns_per_user: 64,
+            zipf_exponent: 0.9,
+            base_duration: Duration::from_millis(400),
+        }
+    }
+}
+
+/// One UWSGI-style worker: private store, private session state.
+struct WorkerState {
+    store: WideRowStore,
+    seen_writes: u64,
+}
+
+/// The DjangoBench benchmark. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct DjangoBench {
+    config: DjangoBenchConfig,
+}
+
+impl DjangoBench {
+    /// Creates the benchmark with an explicit configuration.
+    pub fn with_config(config: DjangoBenchConfig) -> Self {
+        Self { config }
+    }
+}
+
+struct DjangoApp {
+    workers: Vec<Mutex<WorkerState>>,
+    cache: Cache,
+    users_per_worker: u64,
+    zipf: Zipf,
+    seed: u64,
+}
+
+impl DjangoApp {
+    fn user_for(&self, seq: u64) -> (usize, u64) {
+        let mut rng = SplitMix64::new(self.seed ^ seq.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let global = SplitMix64::mix(self.zipf.sample(&mut rng))
+            % (self.users_per_worker * self.workers.len() as u64);
+        (
+            (global / self.users_per_worker) as usize,
+            global % self.users_per_worker,
+        )
+    }
+
+    /// `feed`: hot path — cached render of the user's first feed page.
+    fn feed(&self, worker: usize, user: u64) -> Result<usize, ServiceError> {
+        let cache_key = [b"feed:".as_slice(), &worker.to_le_bytes(), &user.to_le_bytes()]
+            .concat();
+        let rendered = self.cache.get_or_load(&cache_key, |_| {
+            let state = self.workers[worker].lock();
+            let rows = state.store.scan(user, 0, 25);
+            if rows.is_empty() {
+                return None;
+            }
+            let records: Vec<serialize::Record> = rows
+                .iter()
+                .map(|(ck, value)| {
+                    vec![
+                        serialize::FieldValue::I64(**ck as i64),
+                        serialize::FieldValue::Bytes((*value).clone()),
+                    ]
+                })
+                .collect();
+            let mut buf = Vec::new();
+            serialize::encode_batch(&records, &mut buf);
+            Some(compress::lz_compress(&buf))
+        });
+        rendered
+            .map(|body| body.len())
+            .ok_or_else(|| ServiceError("feed: unknown user".into()))
+    }
+
+    /// `timeline`: uncached range scan deeper into the partition.
+    fn timeline(&self, worker: usize, user: u64, offset: u64) -> Result<usize, ServiceError> {
+        let state = self.workers[worker].lock();
+        let rows = state.store.scan(user, offset % 32, 50);
+        if rows.is_empty() {
+            // Paging past the end of a timeline is a normal empty page.
+            return Ok(2);
+        }
+        let mut bytes = 0usize;
+        let mut digest = 0u64;
+        for (ck, value) in rows {
+            bytes += value.len();
+            digest ^= hash::fnv1a(value).rotate_left((*ck % 63) as u32);
+        }
+        std::hint::black_box(digest);
+        Ok(bytes)
+    }
+
+    /// `seen`: the write path — marks stories as seen and invalidates the
+    /// cached feed page.
+    fn seen(&self, worker: usize, user: u64, seq: u64) -> Result<usize, ServiceError> {
+        {
+            let mut state = self.workers[worker].lock();
+            for i in 0..4u64 {
+                let marker = seq.wrapping_mul(31).wrapping_add(i);
+                state
+                    .store
+                    .insert(user, 1_000_000 + marker % 512, marker.to_le_bytes().to_vec());
+            }
+            state.seen_writes += 4;
+        }
+        let cache_key = [b"feed:".as_slice(), &worker.to_le_bytes(), &user.to_le_bytes()]
+            .concat();
+        self.cache.delete(&cache_key);
+        Ok(8)
+    }
+
+    /// `inbox`: read plus aggregate (unread counts).
+    fn inbox(&self, worker: usize, user: u64) -> Result<usize, ServiceError> {
+        let state = self.workers[worker].lock();
+        let rows = state.store.scan(user, 0, 40);
+        let unread = rows
+            .iter()
+            .filter(|(ck, v)| (**ck + v.len() as u64) % 3 == 0)
+            .count();
+        Ok(16 + unread)
+    }
+}
+
+impl Service for DjangoApp {
+    fn call(&self, endpoint: usize, seq: u64) -> Result<usize, ServiceError> {
+        let (worker, user) = self.user_for(seq);
+        match endpoint {
+            0 => self.feed(worker, user),
+            1 => self.timeline(worker, user, seq),
+            2 => self.seen(worker, user, seq),
+            _ => self.inbox(worker, user),
+        }
+    }
+}
+
+impl Benchmark for DjangoBench {
+    fn name(&self) -> &str {
+        "django_bench"
+    }
+
+    fn category(&self) -> WorkloadCategory {
+        WorkloadCategory::Web
+    }
+
+    fn description(&self) -> &str {
+        "Instagram-style web serving: share-nothing worker-per-core over a wide-row store"
+    }
+
+    fn install(&self, _ctx: &mut RunContext) -> Result<(), Error> {
+        Ok(())
+    }
+
+    fn run(&self, ctx: &mut RunContext) -> Result<BenchmarkReport, Error> {
+        let scale = ctx.config().scale.factor();
+        let threads = ctx.config().effective_threads();
+        let seed = ctx.seed();
+        let users_per_worker = self.config.base_users_per_worker * scale.min(16);
+
+        // One share-nothing worker per logical core, as UWSGI spawns one
+        // process per core.
+        let workers: Vec<Mutex<WorkerState>> = (0..threads)
+            .map(|w| {
+                let mut store = WideRowStore::new();
+                store.populate(
+                    users_per_worker,
+                    self.config.columns_per_user,
+                    seed ^ (w as u64) << 40,
+                );
+                Mutex::new(WorkerState {
+                    store,
+                    seen_writes: 0,
+                })
+            })
+            .collect();
+
+        let app = DjangoApp {
+            workers,
+            cache: Cache::new(
+                CacheConfig::with_capacity_bytes(64 << 20).with_shards(threads * 2),
+            ),
+            users_per_worker,
+            zipf: Zipf::new(users_per_worker * threads as u64, self.config.zipf_exponent)
+                .map_err(|e| Error::Config(e.to_string()))?,
+            seed,
+        };
+
+        // The production endpoint mix.
+        let mix = EndpointMix::new(
+            &["feed", "timeline", "seen", "inbox"],
+            &[0.45, 0.25, 0.20, 0.10],
+        )
+        .map_err(|e| Error::Config(e.to_string()))?;
+
+        let duration = self.config.base_duration * scale.min(16) as u32;
+        let load = ClosedLoop::new(mix)
+            .workers(threads)
+            .duration(duration)
+            .run(&app, seed);
+
+        let mut report = ReportBuilder::new(self.name());
+        report.param("workers", threads as u64);
+        report.param("users_per_worker", users_per_worker);
+        report.param("columns_per_user", self.config.columns_per_user);
+        report.metric("requests_per_second", load.throughput_rps());
+        report.metric("total_requests", load.completed);
+        report.metric("error_rate", load.error_rate());
+        report.metric("cache_hit_rate", app.cache.stats().hit_rate());
+        report.latency_ms("request", &load.latency_ns);
+        for (name, count) in ["feed", "timeline", "seen", "inbox"]
+            .iter()
+            .zip(&load.per_endpoint)
+        {
+            report.metric(&format!("requests_{name}"), *count);
+        }
+        let writes: u64 = app.workers.iter().map(|w| w.lock().seen_writes).sum();
+        report.metric("seen_writes", writes);
+        Ok(report.finish(ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcperf_core::RunConfig;
+
+    fn smoke() -> DjangoBenchConfig {
+        DjangoBenchConfig {
+            base_users_per_worker: 300,
+            columns_per_user: 24,
+            base_duration: Duration::from_millis(150),
+            ..DjangoBenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn smoke_run_serves_all_endpoints() {
+        let bench = DjangoBench::with_config(smoke());
+        let mut ctx = RunContext::new(RunConfig::smoke_test().with_threads(4), "django_bench");
+        let report = bench.run(&mut ctx).expect("django runs");
+        let rps = report.metric_f64("requests_per_second").unwrap();
+        assert!(rps > 500.0, "rps={rps}");
+        for ep in ["feed", "timeline", "seen", "inbox"] {
+            assert!(
+                report.metric_f64(&format!("requests_{ep}")).unwrap() > 0.0,
+                "endpoint {ep} never hit"
+            );
+        }
+        assert!(report.metric_f64("seen_writes").unwrap() > 0.0);
+        assert_eq!(report.metric_f64("error_rate"), Some(0.0));
+    }
+
+    #[test]
+    fn feed_cache_gets_hits() {
+        let bench = DjangoBench::with_config(smoke());
+        let mut ctx = RunContext::new(RunConfig::smoke_test().with_threads(2), "django_bench");
+        let report = bench.run(&mut ctx).unwrap();
+        let hit_rate = report.metric_f64("cache_hit_rate").unwrap();
+        // Zipf user popularity means hot feeds are re-served from cache,
+        // though `seen` writes keep invalidating them.
+        assert!(hit_rate > 0.2, "hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn requests_route_by_user_to_fixed_workers() {
+        let app = DjangoApp {
+            workers: (0..4)
+                .map(|_| {
+                    Mutex::new(WorkerState {
+                        store: WideRowStore::new(),
+                        seen_writes: 0,
+                    })
+                })
+                .collect(),
+            cache: Cache::new(CacheConfig::with_capacity_bytes(1 << 20)),
+            users_per_worker: 100,
+            zipf: Zipf::new(400, 0.9).unwrap(),
+            seed: 3,
+        };
+        for seq in 0..200 {
+            let (w1, u1) = app.user_for(seq);
+            let (w2, u2) = app.user_for(seq);
+            assert_eq!((w1, u1), (w2, u2), "routing must be deterministic");
+            assert!(w1 < 4);
+            assert!(u1 < 100);
+        }
+    }
+}

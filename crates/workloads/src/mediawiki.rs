@@ -1,0 +1,294 @@
+//! MediaWiki: the Facebook-style web-serving benchmark.
+//!
+//! "The Mediawiki benchmark represents a classic web application. It runs
+//! Nginx together with HHVM as the web server, with MediaWiki as the
+//! website to serve. It uses MySQL as the backend database and Memcached
+//! as the cache … Siege is used as the load generator to access several
+//! endpoints of the MediaWiki website, such as the Barack Obama page from
+//! Wikipedia, the edit page, the user login page, and the talk page."
+//! (§3.2)
+//!
+//! Mapping onto this repo's substrates: the [`wiki`](crate::wiki)
+//! template renderer is the HHVM/MediaWiki application logic (large
+//! instruction footprint, template recursion), [`PageStore`] is MySQL,
+//! [`dcperf_kvstore::Cache`] is Memcached in front of rendered pages, and
+//! a siege-style multithreaded closed loop drives the same four endpoints.
+
+use crate::store::{PageRecord, PageStore};
+use crate::wiki::{self, TemplateSet};
+use dcperf_core::{
+    Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory,
+};
+use dcperf_kvstore::{Cache, CacheConfig};
+use dcperf_loadgen::{ClosedLoop, EndpointMix, Service, ServiceError};
+use dcperf_tax::{compress, crypto};
+use dcperf_util::{SplitMix64, Zipf};
+use parking_lot::RwLock;
+use std::time::Duration;
+
+/// Tunable parameters.
+#[derive(Debug, Clone)]
+pub struct MediaWikiConfig {
+    /// Number of wiki pages (scaled by run scale).
+    pub base_pages: u64,
+    /// Target wikitext length per page, bytes.
+    pub article_len: usize,
+    /// Zipf skew of page popularity (the "Barack Obama page" effect).
+    pub zipf_exponent: f64,
+    /// Base measurement duration (scaled by run scale).
+    pub base_duration: Duration,
+}
+
+impl Default for MediaWikiConfig {
+    fn default() -> Self {
+        Self {
+            base_pages: 400,
+            article_len: 6_000,
+            zipf_exponent: 1.0,
+            base_duration: Duration::from_millis(400),
+        }
+    }
+}
+
+/// The MediaWiki benchmark. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct MediaWikiBench {
+    config: MediaWikiConfig,
+}
+
+impl MediaWikiBench {
+    /// Creates the benchmark with an explicit configuration.
+    pub fn with_config(config: MediaWikiConfig) -> Self {
+        Self { config }
+    }
+}
+
+struct WikiApp {
+    pages: RwLock<PageStore>,
+    cache: Cache,
+    templates: TemplateSet,
+    zipf: Zipf,
+    page_count: u64,
+    seed: u64,
+    session_key: [u8; 32],
+}
+
+impl WikiApp {
+    fn page_for(&self, seq: u64) -> u64 {
+        let mut rng = SplitMix64::new(self.seed ^ seq.wrapping_mul(0x94D0_49BB_1331_11EB));
+        SplitMix64::mix(self.zipf.sample(&mut rng)) % self.page_count
+    }
+
+    /// `view`: cache-or-render the article page, then gzip it for the
+    /// wire, exactly the Nginx+HHVM hot path.
+    fn view(&self, page_id: u64) -> Result<usize, ServiceError> {
+        let (revision, cache_key) = {
+            let pages = self.pages.read();
+            let page = pages
+                .get(page_id)
+                .ok_or_else(|| ServiceError("404 page not found".into()))?;
+            let mut key = b"page:".to_vec();
+            key.extend_from_slice(&page_id.to_le_bytes());
+            key.extend_from_slice(&page.revision.to_le_bytes());
+            (page.revision, key)
+        };
+        let _ = revision;
+        let html_gz = self.cache.get_or_load(&cache_key, |_| {
+            let pages = self.pages.read();
+            let page = pages.get(page_id)?;
+            let html = wiki::render(&page.source, &self.templates);
+            Some(compress::lz_compress(html.as_bytes()))
+        });
+        html_gz
+            .map(|b| b.len())
+            .ok_or_else(|| ServiceError("render failed".into()))
+    }
+
+    /// `edit`: append a paragraph, bump the revision (the old revision's
+    /// cache entry becomes unreachable, like a purged page).
+    fn edit(&self, page_id: u64, seq: u64) -> Result<usize, ServiceError> {
+        let appended = format!("\n\nEdit {seq} adds a '''new''' paragraph with [[link {seq}]].");
+        let mut pages = self.pages.write();
+        pages
+            .edit(page_id, &appended)
+            .map(|rev| rev as usize)
+            .ok_or_else(|| ServiceError("404 page not found".into()))
+    }
+
+    /// `login`: password hash check + session token issuance (crypto
+    /// tax, no page render).
+    fn login(&self, seq: u64) -> Result<usize, ServiceError> {
+        let user = format!("user{}", seq % 1000);
+        let password = format!("hunter{}", seq % 10);
+        // Derive and verify a salted hash (the expensive part of login).
+        let mut salted = user.clone().into_bytes();
+        salted.extend_from_slice(password.as_bytes());
+        let mut digest = crypto::Sha256::digest(&salted);
+        for _ in 0..64 {
+            digest = crypto::Sha256::digest(&digest); // stretched hash
+        }
+        let token = crypto::hmac_sha256(&self.session_key, &digest);
+        Ok(token.len())
+    }
+
+    /// `talk`: render the discussion page (smaller, never cached).
+    fn talk(&self, page_id: u64, seq: u64) -> Result<usize, ServiceError> {
+        let source = format!(
+            "== Discussion of page {page_id} ==\n* comment {seq} by [[user {}]]\n* reply with {{{{cite|talk-{seq}}}}}\n",
+            seq % 97
+        );
+        let html = wiki::render(&source, &self.templates);
+        Ok(html.len())
+    }
+}
+
+impl Service for WikiApp {
+    fn call(&self, endpoint: usize, seq: u64) -> Result<usize, ServiceError> {
+        let page = self.page_for(seq);
+        match endpoint {
+            0 => self.view(page),
+            1 => self.edit(page, seq),
+            2 => self.login(seq),
+            _ => self.talk(page, seq),
+        }
+    }
+}
+
+impl Benchmark for MediaWikiBench {
+    fn name(&self) -> &str {
+        "mediawiki"
+    }
+
+    fn category(&self) -> WorkloadCategory {
+        WorkloadCategory::Web
+    }
+
+    fn description(&self) -> &str {
+        "classic web serving: wiki template rendering with page cache and DB"
+    }
+
+    fn run(&self, ctx: &mut RunContext) -> Result<BenchmarkReport, Error> {
+        let scale = ctx.config().scale.factor();
+        let threads = ctx.config().effective_threads();
+        let seed = ctx.seed();
+        let page_count = self.config.base_pages * scale.min(16);
+
+        // Install: generate the wiki.
+        let mut pages = PageStore::new();
+        for id in 0..page_count {
+            pages.insert(PageRecord {
+                id,
+                title: format!("Article {id}"),
+                source: wiki::generate_article(id, self.config.article_len, seed),
+                revision: 1,
+            });
+        }
+
+        let app = WikiApp {
+            pages: RwLock::new(pages),
+            cache: Cache::new(
+                CacheConfig::with_capacity_bytes(128 << 20).with_shards(threads * 2),
+            ),
+            templates: TemplateSet::standard(),
+            zipf: Zipf::new(page_count, self.config.zipf_exponent)
+                .map_err(|e| Error::Config(e.to_string()))?,
+            page_count,
+            seed,
+            session_key: [0x5A; 32],
+        };
+
+        // Siege's endpoint mix: mostly views, some edits/logins/talk.
+        let mix = EndpointMix::new(&["view", "edit", "login", "talk"], &[0.70, 0.08, 0.10, 0.12])
+            .map_err(|e| Error::Config(e.to_string()))?;
+
+        let duration = self.config.base_duration * scale.min(16) as u32;
+        let load = ClosedLoop::new(mix)
+            .workers(threads)
+            .duration(duration)
+            .run(&app, seed);
+
+        let mut report = ReportBuilder::new(self.name());
+        report.param("pages", page_count);
+        report.param("article_len", self.config.article_len as u64);
+        report.param("client_threads", threads as u64);
+        report.metric("requests_per_second", load.throughput_rps());
+        report.metric("total_requests", load.completed);
+        report.metric("error_rate", load.error_rate());
+        report.metric("page_cache_hit_rate", app.cache.stats().hit_rate());
+        report.latency_ms("request", &load.latency_ns);
+        for (name, count) in ["view", "edit", "login", "talk"].iter().zip(&load.per_endpoint) {
+            report.metric(&format!("requests_{name}"), *count);
+        }
+        Ok(report.finish(ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcperf_core::RunConfig;
+
+    fn smoke() -> MediaWikiConfig {
+        MediaWikiConfig {
+            base_pages: 60,
+            article_len: 2_000,
+            base_duration: Duration::from_millis(150),
+            ..MediaWikiConfig::default()
+        }
+    }
+
+    #[test]
+    fn smoke_run_serves_pages() {
+        let bench = MediaWikiBench::with_config(smoke());
+        let mut ctx = RunContext::new(RunConfig::smoke_test().with_threads(4), "mediawiki");
+        let report = bench.run(&mut ctx).expect("mediawiki runs");
+        let rps = report.metric_f64("requests_per_second").unwrap();
+        assert!(rps > 200.0, "rps={rps}");
+        assert_eq!(report.metric_f64("error_rate"), Some(0.0));
+        for ep in ["view", "edit", "login", "talk"] {
+            assert!(
+                report.metric_f64(&format!("requests_{ep}")).unwrap() > 0.0,
+                "endpoint {ep} never hit"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_pages_are_served_from_cache() {
+        let bench = MediaWikiBench::with_config(smoke());
+        let mut ctx = RunContext::new(RunConfig::smoke_test().with_threads(2), "mediawiki");
+        let report = bench.run(&mut ctx).unwrap();
+        let hit_rate = report.metric_f64("page_cache_hit_rate").unwrap();
+        assert!(hit_rate > 0.5, "read-through page cache hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn edits_invalidate_via_revision_keys() {
+        let app = WikiApp {
+            pages: RwLock::new({
+                let mut s = PageStore::new();
+                s.insert(PageRecord {
+                    id: 0,
+                    title: "T".into(),
+                    source: "== H ==\nbody".into(),
+                    revision: 1,
+                });
+                s
+            }),
+            cache: Cache::new(CacheConfig::with_capacity_bytes(1 << 20)),
+            templates: TemplateSet::standard(),
+            zipf: Zipf::new(1, 1.0).unwrap(),
+            page_count: 1,
+            seed: 1,
+            session_key: [0; 32],
+        };
+        let size_before = app.view(0).unwrap();
+        app.view(0).unwrap();
+        assert_eq!(app.cache.stats().hits(), 1, "second view must hit");
+        app.edit(0, 9).unwrap();
+        let size_after = app.view(0).unwrap();
+        assert!(size_after >= size_before, "edited page grew");
+        // The edited view missed (new revision key).
+        assert_eq!(app.cache.stats().misses(), 2);
+    }
+}

@@ -1,0 +1,311 @@
+//! TaoBench: the TAO-style read-through caching benchmark.
+//!
+//! "TaoBench is a read-through, in-memory cache modeled after TAO …
+//! The server spawns a number of so-called fast and slow threads. When a
+//! request encounters a cache hit, a fast thread simply returns the cached
+//! object to the client. However, in the case of a cache miss, the request
+//! is dispatched to a slow thread, which simulates backend database lookup
+//! delay, new object creation, and Memcached insertion using the SET
+//! command." (§3.2)
+//!
+//! This implementation is exactly that architecture on this repo's
+//! substrates: a [`dcperf_kvstore::Cache`] served through a
+//! [`dcperf_rpc::InProcServer`] whose classifier peeks the cache and
+//! routes hits to the fast pool and misses to the slow pool, a
+//! [`BackingStore`] paying simulated DB latency on the miss path, and a
+//! memtier-style closed-loop client drawing Zipf-distributed keys with
+//! production-shaped value sizes.
+
+use dcperf_core::{
+    Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory,
+};
+use dcperf_kvstore::{BackingStore, BackingStoreConfig, Cache, CacheConfig};
+use dcperf_loadgen::{ClosedLoop, EndpointMix, Service, ServiceError};
+use dcperf_rpc::{InProcClient, InProcServer, Lane, PoolConfig, Request, Response};
+use dcperf_util::{SplitMix64, Zipf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunable parameters; `Default` matches the production-shaped TAO
+/// configuration scaled by the run's [`Scale`](dcperf_core::Scale).
+#[derive(Debug, Clone)]
+pub struct TaoBenchConfig {
+    /// Distinct keys in the working set (scaled by the run scale).
+    pub base_key_space: u64,
+    /// Zipf skew of key popularity.
+    pub zipf_exponent: f64,
+    /// Cache capacity as a fraction of the expected working-set bytes;
+    /// below 1.0 forces a production-like miss rate.
+    pub cache_fraction: f64,
+    /// GET share of the operation mix (the remainder are SETs).
+    pub get_fraction: f64,
+    /// Simulated DB latency on the miss path.
+    pub db_latency: Duration,
+    /// Base measurement duration (scaled by the run scale).
+    pub base_duration: Duration,
+}
+
+impl Default for TaoBenchConfig {
+    fn default() -> Self {
+        Self {
+            base_key_space: 200_000,
+            zipf_exponent: 0.99,
+            cache_fraction: 0.35,
+            get_fraction: 0.95,
+            db_latency: Duration::from_micros(150),
+            base_duration: Duration::from_millis(400),
+        }
+    }
+}
+
+/// The TaoBench benchmark. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct TaoBench {
+    config: TaoBenchConfig,
+}
+
+impl TaoBench {
+    /// Creates the benchmark with an explicit configuration.
+    pub fn with_config(config: TaoBenchConfig) -> Self {
+        Self { config }
+    }
+}
+
+/// The client side: memtier-style key/op generation over the RPC client.
+struct TaoClient {
+    rpc: InProcClient,
+    zipf: Zipf,
+    key_space: u64,
+    seed: u64,
+    store: Arc<BackingStore>,
+}
+
+impl TaoClient {
+    fn key_for(&self, seq: u64) -> u64 {
+        let mut rng = SplitMix64::new(self.seed ^ seq.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        // Hash the Zipf rank so hot keys are spread across cache shards.
+        let rank = self.zipf.sample(&mut rng);
+        SplitMix64::mix(rank) % self.key_space.max(1)
+    }
+}
+
+impl Service for TaoClient {
+    fn call(&self, endpoint: usize, seq: u64) -> Result<usize, ServiceError> {
+        let key = self.key_for(seq).to_le_bytes().to_vec();
+        let result = if endpoint == 0 {
+            self.rpc.call("get", key)
+        } else {
+            // SET: client supplies the new object, as memtier does.
+            let mut body = key.clone();
+            body.extend_from_slice(&self.store.synthesize_for_key(&key));
+            self.rpc.call("set", body)
+        };
+        match result {
+            Ok(resp) => Ok(resp.body.len()),
+            Err(e) => Err(ServiceError(e.to_string())),
+        }
+    }
+}
+
+impl Benchmark for TaoBench {
+    fn name(&self) -> &str {
+        "taobench"
+    }
+
+    fn category(&self) -> WorkloadCategory {
+        WorkloadCategory::DataCaching
+    }
+
+    fn description(&self) -> &str {
+        "TAO-style read-through in-memory cache with fast/slow thread pools"
+    }
+
+    fn run(&self, ctx: &mut RunContext) -> Result<BenchmarkReport, Error> {
+        let scale = ctx.config().scale.factor();
+        let threads = ctx.config().effective_threads();
+        let key_space = self.config.base_key_space * scale;
+        let seed = ctx.seed();
+
+        // Expected working set: key space × mean object size; cap the
+        // cache below it so the slow path stays exercised.
+        let store = Arc::new(BackingStore::new(
+            BackingStoreConfig {
+                lookup_latency: self.config.db_latency,
+                ..BackingStoreConfig::tao_like()
+            },
+            seed,
+        ));
+        let mean_object = 450usize; // log-normal mean for the TAO shape
+        let capacity =
+            (key_space as usize * mean_object) as f64 * self.config.cache_fraction;
+        let cache = Arc::new(Cache::new(
+            CacheConfig::with_capacity_bytes(capacity as usize)
+                .with_shards(threads * 4),
+        ));
+
+        // Server: fast pool for hits, slow pool for misses/SETs.
+        let fast_threads = (threads / 2).max(2);
+        let slow_threads = (threads / 2).max(2);
+        let handler_cache = Arc::clone(&cache);
+        let handler_store = Arc::clone(&store);
+        let classify_cache = Arc::clone(&cache);
+        let server = InProcServer::start_with_classifier(
+            move |req: &Request| match req.method.as_str() {
+                "get" => match handler_cache
+                    .get_or_load(&req.body, |key| handler_store.lookup(key))
+                {
+                    Some(value) => Response::ok(value),
+                    None => Response::error("object not found"),
+                },
+                "set" => {
+                    if req.body.len() < 8 {
+                        return Response::error("malformed set");
+                    }
+                    let (key, value) = req.body.split_at(8);
+                    handler_cache.set(key, value.to_vec());
+                    Response::ok(Vec::new())
+                }
+                other => Response::error(&format!("unknown method {other}")),
+            },
+            move |req: &Request| {
+                // TAO's dispatch: peek the cache; hits go to fast
+                // threads, misses and writes to slow threads.
+                if req.method == "get" && classify_cache.get(&req.body).is_some() {
+                    Lane::Fast
+                } else {
+                    Lane::Slow
+                }
+            },
+            PoolConfig::fast_slow(fast_threads, slow_threads).with_queue_depth(8192),
+        );
+
+        let client = TaoClient {
+            rpc: server.client(),
+            zipf: Zipf::new(key_space, self.config.zipf_exponent)
+                .map_err(|e| Error::Config(e.to_string()))?,
+            key_space,
+            seed,
+            store: Arc::clone(&store),
+        };
+
+        // Warm the cache briefly so the measured phase sees steady state.
+        let mix = EndpointMix::new(
+            &["get", "set"],
+            &[self.config.get_fraction, 1.0 - self.config.get_fraction],
+        )
+        .map_err(|e| Error::Config(e.to_string()))?;
+        ClosedLoop::new(mix.clone())
+            .workers(threads)
+            .duration(self.config.base_duration / 4)
+            .run(&client, seed ^ 0xAAAA);
+        let warm_hits = cache.stats().hits();
+        let warm_misses = cache.stats().misses();
+
+        let mut report = ReportBuilder::new(self.name());
+        report.param("key_space", key_space);
+        report.param("cache_capacity_bytes", capacity as u64);
+        report.param("fast_threads", fast_threads as u64);
+        report.param("slow_threads", slow_threads as u64);
+        report.param("client_threads", threads as u64);
+        report.param("zipf_exponent", self.config.zipf_exponent);
+
+        let duration = self.config.base_duration * scale.min(16) as u32;
+        let load = ClosedLoop::new(mix)
+            .workers(threads)
+            .duration(duration)
+            .run(&client, seed);
+
+        // Hit rate over the measured phase only (classifier peeks are
+        // counted too, symmetrically, so the ratio is preserved).
+        let hits = cache.stats().hits() - warm_hits;
+        let misses = cache.stats().misses() - warm_misses;
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+
+        report.metric("requests_per_second", load.throughput_rps());
+        report.metric("cache_hit_rate", hit_rate);
+        report.metric("total_requests", load.completed);
+        report.metric("error_rate", load.error_rate());
+        report.metric("response_mb", load.response_bytes as f64 / 1e6);
+        report.latency_ms("request", &load.latency_ns);
+        let stats = server.stats();
+        report.metric("rpc_shed", stats.shed());
+        server.shutdown();
+        Ok(report.finish(ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcperf_core::RunConfig;
+
+    fn smoke_config() -> TaoBenchConfig {
+        TaoBenchConfig {
+            base_key_space: 20_000,
+            db_latency: Duration::from_micros(40),
+            base_duration: Duration::from_millis(150),
+            ..TaoBenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn smoke_run_produces_sane_metrics() {
+        let bench = TaoBench::with_config(smoke_config());
+        let mut ctx = RunContext::new(RunConfig::smoke_test().with_threads(4), "taobench");
+        let report = bench.run(&mut ctx).expect("taobench runs");
+        let rps = report.metric_f64("requests_per_second").unwrap();
+        assert!(rps > 1_000.0, "rps={rps}");
+        let hit_rate = report.metric_f64("cache_hit_rate").unwrap();
+        assert!(
+            (0.3..=0.999).contains(&hit_rate),
+            "hit rate {hit_rate} out of expected band"
+        );
+        assert_eq!(report.metric_f64("error_rate"), Some(0.0));
+        assert!(report.metric_f64("request_p95_ms").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn hot_keys_hit_cold_keys_miss() {
+        // With a capacity-limited cache and Zipf keys, the measured hit
+        // rate must be far above the capacity fraction alone (recency
+        // keeps the hot head resident).
+        let bench = TaoBench::with_config(TaoBenchConfig {
+            cache_fraction: 0.2,
+            ..smoke_config()
+        });
+        let mut ctx = RunContext::new(RunConfig::smoke_test().with_threads(4), "taobench");
+        let report = bench.run(&mut ctx).unwrap();
+        let hit_rate = report.metric_f64("cache_hit_rate").unwrap();
+        assert!(hit_rate > 0.35, "hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn deterministic_key_generation() {
+        // Same seed → same key sequence (content determinism).
+        let store = Arc::new(BackingStore::new(
+            BackingStoreConfig::tao_like().without_latency(),
+            9,
+        ));
+        let server = InProcServer::start(
+            |_req: &Request| Response::ok(vec![]),
+            PoolConfig::single_lane(1),
+        );
+        let make = || TaoClient {
+            rpc: server.client(),
+            zipf: Zipf::new(1000, 0.99).unwrap(),
+            key_space: 1000,
+            seed: 77,
+            store: Arc::clone(&store),
+        };
+        let a = make();
+        let b = make();
+        for seq in 0..100 {
+            assert_eq!(a.key_for(seq), b.key_for(seq));
+        }
+        server.shutdown();
+    }
+}

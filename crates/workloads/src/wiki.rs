@@ -1,0 +1,467 @@
+//! A miniature wiki-markup template renderer — the application logic of
+//! the MediaWiki benchmark.
+//!
+//! MediaWiki's serving cost is dominated by parsing and expanding
+//! wikitext (headings, inline formatting, links, and — critically —
+//! recursive template transclusion) into HTML. This renderer implements
+//! that pipeline from scratch: a line-oriented block parser, an inline
+//! formatter, and `{{template|arg}}` expansion with depth limits, plus a
+//! deterministic article generator for benchmark datasets.
+
+use dcperf_util::{Rng, SplitMix64};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maximum template recursion depth (MediaWiki uses 40; we keep the same
+/// guard so malicious nesting terminates).
+const MAX_TEMPLATE_DEPTH: usize = 40;
+
+/// A set of named templates with `{{{1}}}`-style positional parameters.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateSet {
+    templates: BTreeMap<String, String>,
+}
+
+impl TemplateSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a template body under `name`.
+    pub fn insert(&mut self, name: &str, body: &str) {
+        self.templates.insert(name.to_owned(), body.to_owned());
+    }
+
+    /// The standard set used by benchmark articles (infobox, citation,
+    /// birth date, quote).
+    pub fn standard() -> Self {
+        let mut set = Self::new();
+        set.insert(
+            "infobox",
+            "<table class=\"infobox\"><tr><th>{{{1}}}</th></tr><tr><td>{{{2}}}</td></tr></table>",
+        );
+        set.insert("cite", "<sup class=\"cite\">[{{{1}}}]</sup>");
+        set.insert("birth date", "<span class=\"bday\">{{{1}}}-{{{2}}}-{{{3}}}</span>");
+        set.insert("quote", "<blockquote>{{{1}}} — ''{{{2}}}''</blockquote>");
+        set.insert("flag", "<span class=\"flag\">{{{1}}}</span>");
+        set
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.templates.get(name).map(String::as_str)
+    }
+
+    /// Number of registered templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether no templates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+/// Renders wikitext `source` to HTML using `templates`.
+///
+/// Supported syntax: `== headings ==` (levels 2–4), `'''bold'''`,
+/// `''italic''`, `[[Page]]` / `[[Page|label]]` links, `* bullet` lists,
+/// `{{template|args}}` transclusion, and paragraphs.
+pub fn render(source: &str, templates: &TemplateSet) -> String {
+    let expanded = expand_templates(source, templates, 0);
+    let mut html = String::with_capacity(expanded.len() * 2);
+    let mut in_list = false;
+    let mut in_paragraph = false;
+
+    for line in expanded.lines() {
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            close_blocks(&mut html, &mut in_list, &mut in_paragraph);
+            continue;
+        }
+        if let Some(heading) = parse_heading(trimmed) {
+            close_blocks(&mut html, &mut in_list, &mut in_paragraph);
+            let (level, text) = heading;
+            let _ = write!(html, "<h{level}>{}</h{level}>\n", render_inline(text));
+            continue;
+        }
+        if let Some(item) = trimmed.strip_prefix("* ") {
+            if in_paragraph {
+                html.push_str("</p>\n");
+                in_paragraph = false;
+            }
+            if !in_list {
+                html.push_str("<ul>\n");
+                in_list = true;
+            }
+            let _ = write!(html, "<li>{}</li>\n", render_inline(item));
+            continue;
+        }
+        if in_list {
+            html.push_str("</ul>\n");
+            in_list = false;
+        }
+        if !in_paragraph {
+            html.push_str("<p>");
+            in_paragraph = true;
+        } else {
+            html.push(' ');
+        }
+        html.push_str(&render_inline(trimmed));
+    }
+    close_blocks(&mut html, &mut in_list, &mut in_paragraph);
+    html
+}
+
+fn close_blocks(html: &mut String, in_list: &mut bool, in_paragraph: &mut bool) {
+    if *in_list {
+        html.push_str("</ul>\n");
+        *in_list = false;
+    }
+    if *in_paragraph {
+        html.push_str("</p>\n");
+        *in_paragraph = false;
+    }
+}
+
+fn parse_heading(line: &str) -> Option<(usize, &str)> {
+    for level in (2..=4).rev() {
+        let marker = &"===="[..level];
+        if let Some(rest) = line.strip_prefix(marker) {
+            if let Some(text) = rest.strip_suffix(marker) {
+                return Some((level, text.trim()));
+            }
+        }
+    }
+    None
+}
+
+/// Expands `{{name|arg|arg}}` transclusions, depth-limited.
+fn expand_templates(source: &str, templates: &TemplateSet, depth: usize) -> String {
+    if depth >= MAX_TEMPLATE_DEPTH || !source.contains("{{") {
+        return source.to_owned();
+    }
+    let mut out = String::with_capacity(source.len());
+    let mut rest = source;
+    while let Some(start) = rest.find("{{") {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 2..];
+        // Find the matching `}}` accounting for nesting.
+        let Some(end) = find_closing(after) else {
+            out.push_str("{{");
+            rest = after;
+            continue;
+        };
+        let inner = &after[..end];
+        // Parameter placeholders `{{{n}}}` survive as literals here; they
+        // are substituted during invocation below.
+        let mut parts = split_template_args(inner);
+        let name = parts.remove(0).trim().to_lowercase();
+        match templates.get(&name) {
+            Some(body) => {
+                let mut instance = body.to_owned();
+                for (i, arg) in parts.iter().enumerate() {
+                    instance = instance.replace(&format!("{{{{{{{}}}}}}}", i + 1), arg.trim());
+                }
+                // Unfilled parameters render as empty.
+                while let Some(s) = instance.find("{{{") {
+                    match instance[s..].find("}}}") {
+                        Some(e) => instance.replace_range(s..s + e + 3, ""),
+                        None => break,
+                    }
+                }
+                out.push_str(&expand_templates(&instance, templates, depth + 1));
+            }
+            None => {
+                let _ = write!(out, "<span class=\"missing-template\">{name}</span>");
+            }
+        }
+        rest = &after[end + 2..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Finds the index of the `}}` closing the template opened just before
+/// `s`, allowing nested `{{ }}` pairs.
+fn find_closing(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b'{' && bytes[i + 1] == b'{' {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'}' && bytes[i + 1] == b'}' {
+            if depth == 0 {
+                return Some(i);
+            }
+            depth -= 1;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Splits template contents on `|` at nesting depth zero.
+fn split_template_args(inner: &str) -> Vec<&str> {
+    let bytes = inner.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth = depth.saturating_sub(1),
+            b'|' if depth == 0 => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(&inner[start..]);
+    parts
+}
+
+/// Renders inline markup: escaping, bold, italic, links.
+fn render_inline(text: &str) -> String {
+    let escaped = escape_html(text);
+    let linked = render_links(&escaped);
+    let bolded = replace_pairs(&linked, "'''", "<b>", "</b>");
+    replace_pairs(&bolded, "''", "<i>", "</i>")
+}
+
+fn escape_html(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            // Template output contains real tags; only escape stray
+            // angle brackets in source text outside tag-looking runs is
+            // overkill for a benchmark — escape nothing structural here
+            // beyond ampersands to keep templates working.
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_links(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(start) = rest.find("[[") {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 2..];
+        match after.find("]]") {
+            Some(end) => {
+                let inner = &after[..end];
+                let (target, label) = match inner.split_once('|') {
+                    Some((t, l)) => (t, l),
+                    None => (inner, inner),
+                };
+                let _ = write!(
+                    out,
+                    "<a href=\"/wiki/{}\">{label}</a>",
+                    target.replace(' ', "_")
+                );
+                rest = &after[end + 2..];
+            }
+            None => {
+                out.push_str("[[");
+                rest = after;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Replaces paired `marker` runs with open/close tags, alternating.
+fn replace_pairs(text: &str, marker: &str, open: &str, close: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut opened = false;
+    let mut rest = text;
+    while let Some(idx) = rest.find(marker) {
+        out.push_str(&rest[..idx]);
+        out.push_str(if opened { close } else { open });
+        opened = !opened;
+        rest = &rest[idx + marker.len()..];
+    }
+    out.push_str(rest);
+    if opened {
+        out.push_str(close);
+    }
+    out
+}
+
+/// Deterministically generates a benchmark article of roughly
+/// `target_len` bytes of wikitext, exercising every supported construct.
+pub fn generate_article(page_id: u64, target_len: usize, seed: u64) -> String {
+    let mut rng = SplitMix64::new(seed ^ page_id.wrapping_mul(0xA24B_AED4_963E_E407));
+    let mut out = String::with_capacity(target_len + 256);
+    let _ = writeln!(
+        out,
+        "{{{{infobox|Article {page_id}|Generated encyclopedia entry}}}}"
+    );
+    let words = [
+        "president", "election", "university", "history", "science", "battle",
+        "treaty", "island", "dynasty", "orchestra", "language", "protocol",
+        "economy", "architecture", "constitution", "algorithm",
+    ];
+    let mut section = 0u64;
+    while out.len() < target_len {
+        section += 1;
+        let _ = writeln!(out, "\n== Section {section} ==");
+        for _ in 0..(rng.next_u64() % 3 + 2) {
+            let mut sentence = String::new();
+            for w in 0..(rng.next_u64() % 14 + 8) {
+                let word = words[rng.gen_index(words.len())];
+                match rng.next_u64() % 12 {
+                    0 => {
+                        let _ = write!(sentence, "'''{word}''' ");
+                    }
+                    1 => {
+                        let _ = write!(sentence, "''{word}'' ");
+                    }
+                    2 => {
+                        let _ = write!(sentence, "[[{word} {w}|{word}]] ");
+                    }
+                    3 => {
+                        let _ = write!(sentence, "{{{{cite|{word}-{w}}}}} ");
+                    }
+                    _ => {
+                        let _ = write!(sentence, "{word} ");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{sentence}.");
+        }
+        if section % 3 == 0 {
+            let _ = writeln!(out, "{{{{quote|notable remark {section}|historian}}}}");
+            for item in 0..(rng.next_u64() % 4 + 2) {
+                let _ = writeln!(out, "* item {item} {{{{flag|region-{item}}}}}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn std_templates() -> TemplateSet {
+        TemplateSet::standard()
+    }
+
+    #[test]
+    fn renders_headings_and_paragraphs() {
+        let html = render("== Title ==\nBody text here.\n\nSecond para.", &std_templates());
+        assert!(html.contains("<h2>Title</h2>"), "{html}");
+        assert!(html.contains("<p>Body text here.</p>"), "{html}");
+        assert!(html.contains("<p>Second para.</p>"), "{html}");
+    }
+
+    #[test]
+    fn renders_h3_and_h4() {
+        let html = render("=== Three ===\n==== Four ====", &std_templates());
+        assert!(html.contains("<h3>Three</h3>"));
+        assert!(html.contains("<h4>Four</h4>"));
+    }
+
+    #[test]
+    fn renders_inline_formatting() {
+        let html = render("'''bold''' and ''italic'' text", &std_templates());
+        assert!(html.contains("<b>bold</b>"), "{html}");
+        assert!(html.contains("<i>italic</i>"), "{html}");
+    }
+
+    #[test]
+    fn renders_links() {
+        let html = render("See [[Barack Obama]] and [[Some Page|label]].", &std_templates());
+        assert!(html.contains("<a href=\"/wiki/Barack_Obama\">Barack Obama</a>"), "{html}");
+        assert!(html.contains("<a href=\"/wiki/Some_Page\">label</a>"), "{html}");
+    }
+
+    #[test]
+    fn renders_lists() {
+        let html = render("* one\n* two\nafter", &std_templates());
+        assert!(html.contains("<ul>\n<li>one</li>\n<li>two</li>\n</ul>"), "{html}");
+        assert!(html.contains("<p>after</p>"));
+    }
+
+    #[test]
+    fn expands_templates_with_args() {
+        let html = render("{{cite|ref-9}}", &std_templates());
+        assert!(html.contains("<sup class=\"cite\">[ref-9]</sup>"), "{html}");
+    }
+
+    #[test]
+    fn expands_nested_template_arguments() {
+        let html = render("{{quote|said {{cite|x}}|someone}}", &std_templates());
+        assert!(html.contains("<blockquote>"), "{html}");
+        assert!(html.contains("<sup class=\"cite\">[x]</sup>"), "{html}");
+        assert!(html.contains("<i>someone</i>"), "{html}");
+    }
+
+    #[test]
+    fn unknown_template_is_marked() {
+        let html = render("{{no such template}}", &std_templates());
+        assert!(html.contains("missing-template"), "{html}");
+    }
+
+    #[test]
+    fn unfilled_parameters_render_empty() {
+        let html = render("{{infobox|OnlyTitle}}", &std_templates());
+        assert!(html.contains("OnlyTitle"));
+        assert!(!html.contains("{{{"), "{html}");
+    }
+
+    #[test]
+    fn unclosed_template_does_not_hang_or_panic() {
+        let html = render("text {{cite|unclosed", &std_templates());
+        assert!(html.contains("text"));
+    }
+
+    #[test]
+    fn deep_recursion_is_bounded() {
+        // A self-referential template must terminate at the depth limit.
+        let mut set = TemplateSet::new();
+        set.insert("loop", "x{{loop}}");
+        let html = render("{{loop}}", &set);
+        assert!(html.len() < 100_000);
+        assert!(html.contains('x'));
+    }
+
+    #[test]
+    fn generated_articles_are_deterministic_and_sized() {
+        let a = generate_article(5, 4000, 1);
+        let b = generate_article(5, 4000, 1);
+        assert_eq!(a, b);
+        assert!(a.len() >= 4000);
+        assert!(a.len() < 4000 + 2000);
+        let c = generate_article(6, 4000, 1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_articles_render_to_html() {
+        let article = generate_article(1, 6000, 7);
+        let html = render(&article, &std_templates());
+        assert!(html.contains("<h2>"));
+        assert!(html.contains("infobox"));
+        assert!(html.len() > article.len() / 2);
+    }
+
+    #[test]
+    fn ampersands_escaped() {
+        let html = render("AT&T corp", &std_templates());
+        assert!(html.contains("AT&amp;T"), "{html}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Kernel scalability (§5.3 / Figure 16): project TaoBench across Linux
+//! 6.4/6.9 and 176-/384-core SKUs with the model, then demonstrate the
+//! underlying mechanism — a globally contended load counter versus the
+//! ratelimited fix — live on this machine.
+//!
+//! ```sh
+//! cargo run --release --example kernel_scalability
+//! ```
+
+use dcperf::platform::{projection, Model};
+use dcperf::workloads::kernelsim::{run_contention, CounterPolicy};
+use std::time::Duration;
+
+fn main() {
+    println!("=== Model projection (Figure 16) ===");
+    for cell in projection::figure16(&Model::new()) {
+        println!(
+            "  {:<14} {:<12} {:>6.0}%",
+            cell.sku, cell.kernel, cell.relative_percent
+        );
+    }
+    println!("  paper: 100% / 162% / 103% / 249%\n");
+
+    println!("=== Live mechanism demo on this host ===");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let small = cores.max(2);
+    let large = cores * 4;
+    println!("  (host has {cores} cores; using {small} vs {large} threads)\n");
+    for (threads, label) in [(small, "baseline"), (large, "oversubscribed")] {
+        let contended =
+            run_contention(threads, Duration::from_millis(400), CounterPolicy::EveryUpdate);
+        let ratelimited = run_contention(
+            threads,
+            Duration::from_millis(400),
+            CounterPolicy::Ratelimited { flush_every: 64 },
+        );
+        println!(
+            "  {label:<15} {threads:>3} threads: every-update {:>9.0}/s | ratelimited {:>9.0}/s ({:+.0}%)",
+            contended.throughput,
+            ratelimited.throughput,
+            (ratelimited.throughput / contended.throughput - 1.0) * 100.0
+        );
+    }
+    println!("\nThe ratelimit win grows with core count — the 6.9 patch in miniature.");
+    println!("(On a 1-2 core host both variants look alike; the contention needs");
+    println!(" real cache-line ping-pong between cores to hurt.)");
+}

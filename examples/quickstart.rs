@@ -1,0 +1,44 @@
+//! Quickstart: install and run the full DCPerf-RS suite at smoke scale,
+//! then print per-benchmark scores and the overall geometric-mean score.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dcperf::core::{RunConfig, Scale, Suite};
+use dcperf::workloads::register_all;
+
+fn main() -> Result<(), dcperf::core::Error> {
+    let mut suite = Suite::new();
+    register_all(&mut suite);
+
+    // Smoke scale finishes in a couple of minutes on a laptop; switch to
+    // Scale::Standard or Scale::Production for real measurements.
+    let config = RunConfig {
+        scale: Scale::SmokeTest,
+        output_dir: Some(std::env::temp_dir().join("dcperf-quickstart")),
+        ..RunConfig::new()
+    };
+
+    println!("DCPerf-RS quickstart — {} benchmarks registered", suite.len());
+    println!("running at {:?} scale on {} threads\n", config.scale, config.effective_threads());
+
+    let summary = suite.run_all(&config)?;
+    for report in summary.reports() {
+        let rps = report
+            .metric_f64("requests_per_second")
+            .or_else(|| report.metric_f64("rows_per_second"))
+            .or_else(|| report.metric_f64("megapixels_per_second"))
+            .or_else(|| report.metric_f64("ops_per_second"))
+            .unwrap_or(0.0);
+        println!(
+            "{:<24} {:>14.1} (primary metric)  {:>6.2}s",
+            report.benchmark, rps, report.duration_secs
+        );
+    }
+    println!("\n{}", summary.render_table());
+    if let Some(dir) = &config.output_dir {
+        println!("JSON reports written to {}", dir.display());
+    }
+    Ok(())
+}

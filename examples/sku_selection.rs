@@ -1,0 +1,66 @@
+//! SKU selection (§5.1): use the calibrated platform model to compare
+//! candidate server SKUs the way Meta compared SKU-A and SKU-B — on
+//! projected performance *and* Perf/Watt, per benchmark and suite-wide.
+//!
+//! ```sh
+//! cargo run --release --example sku_selection
+//! ```
+
+use dcperf::platform::model::OsConfig;
+use dcperf::platform::profile::profiles;
+use dcperf::platform::{projection, sku, Model};
+
+fn main() {
+    let model = Model::new();
+    let os = OsConfig::default();
+
+    println!("=== Candidate evaluation: x86 SKU4 vs ARM SKU-A vs ARM SKU-B ===\n");
+    println!("{}", sku::render_table4());
+
+    println!("Projected throughput (relative to SKU1) per DCPerf benchmark:");
+    println!("{:<14} {:>7} {:>7} {:>7}", "benchmark", "SKU4", "SKU-A", "SKU-B");
+    for p in profiles::dcperf_suite() {
+        let base = model.evaluate(&p, &sku::SKU1, &os).throughput;
+        let t4 = model.evaluate(&p, &sku::SKU4, &os).throughput / base;
+        let ta = model.evaluate(&p, &sku::SKU_A, &os).throughput / base;
+        let tb = model.evaluate(&p, &sku::SKU_B, &os).throughput / base;
+        println!("{:<14} {t4:>7.2} {ta:>7.2} {tb:>7.2}", p.name);
+    }
+
+    println!("\nPerf/Watt (normalized to SKU1), the §5.1 decision metric:");
+    let ppw = projection::figure14(&model);
+    println!("{:<14} {:>7} {:>7} {:>7}", "benchmark", "SKU4", "SKU-A", "SKU-B");
+    let mut names: Vec<String> = Vec::new();
+    for row in &ppw {
+        if !names.contains(&row.benchmark) {
+            names.push(row.benchmark.clone());
+        }
+    }
+    for name in names {
+        let get = |sku: &str| {
+            ppw.iter()
+                .find(|r| r.benchmark == name && r.sku == sku)
+                .map(|r| r.value)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{name:<14} {:>7.2} {:>7.2} {:>7.2}",
+            get("SKU4"),
+            get("SKU-A"),
+            get("SKU-B")
+        );
+    }
+
+    let suite = |sku_name: &str| {
+        ppw.iter()
+            .find(|r| r.benchmark == "DCPerf" && r.sku == sku_name)
+            .map(|r| r.value)
+            .unwrap_or(0.0)
+    };
+    let a_gain = (suite("SKU-A") / suite("SKU4") - 1.0) * 100.0;
+    let b_loss = (1.0 - suite("SKU-B") / suite("SKU4")) * 100.0;
+    println!("\nDecision:");
+    println!("  SKU-A beats SKU4 on suite Perf/Watt by {a_gain:+.0}%  -> select SKU-A");
+    println!("  SKU-B trails SKU4 on suite Perf/Watt by {b_loss:.0}%  -> reject SKU-B");
+    println!("  (its small L1 I-cache collapses on large-codebase web workloads)");
+}

@@ -1,0 +1,38 @@
+//! DCPerf-RS — a Rust reproduction of the DCPerf datacenter benchmark
+//! suite (Su et al., ISCA 2025).
+//!
+//! This umbrella crate re-exports every sub-crate of the workspace so that
+//! examples and downstream users need only a single dependency:
+//!
+//! * [`core`] — the automation framework: [`core::Benchmark`] trait, suite
+//!   runner, normalized scoring, hooks, and JSON reporting.
+//! * [`workloads`] — the six DCPerf benchmarks (TaoBench, FeedSim,
+//!   DjangoBench, MediaWiki, SparkBench, VideoTranscode), the
+//!   datacenter-tax microbenchmarks, the CloudSuite comparison minis, and
+//!   the kernel-scalability demo.
+//! * [`platform`] — SKU specifications and the analytical microarchitecture
+//!   model used to reproduce the paper's cross-SKU projections.
+//! * [`rpc`], [`kvstore`], [`tax`], [`loadgen`], [`util`] — the substrates.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use dcperf::core::{Suite, RunConfig};
+//! use dcperf::workloads::register_all;
+//!
+//! let mut suite = Suite::new();
+//! register_all(&mut suite);
+//! let config = RunConfig::smoke_test();
+//! let summary = suite.run_all(&config)?;
+//! println!("DCPerf overall score: {:.3}", summary.overall_score());
+//! # Ok::<(), dcperf::core::Error>(())
+//! ```
+
+pub use dcperf_core as core;
+pub use dcperf_kvstore as kvstore;
+pub use dcperf_loadgen as loadgen;
+pub use dcperf_platform as platform;
+pub use dcperf_rpc as rpc;
+pub use dcperf_tax as tax;
+pub use dcperf_util as util;
+pub use dcperf_workloads as workloads;
