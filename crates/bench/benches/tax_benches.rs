@@ -39,11 +39,15 @@ fn bench_hashing(c: &mut Criterion) {
     let data = corpus(4 << 10, 2);
     let mut group = c.benchmark_group("hashing");
     group.throughput(Throughput::Bytes(data.len() as u64));
-    group.bench_function("fnv1a_4k", |b| b.iter(|| black_box(hash::fnv1a(black_box(&data)))));
+    group.bench_function("fnv1a_4k", |b| {
+        b.iter(|| black_box(hash::fnv1a(black_box(&data))))
+    });
     group.bench_function("dcx64_4k", |b| {
         b.iter(|| black_box(hash::dcx64(black_box(&data), 7)))
     });
-    group.bench_function("crc32_4k", |b| b.iter(|| black_box(hash::crc32(black_box(&data)))));
+    group.bench_function("crc32_4k", |b| {
+        b.iter(|| black_box(hash::crc32(black_box(&data))))
+    });
     group.finish();
 }
 

@@ -8,9 +8,8 @@ use std::fmt::Write as _;
 
 /// Every renderable id, in paper order.
 pub const FIGURE_IDS: [&str; 21] = [
-    "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15",
-    "fig16",
+    "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "fig16",
 ];
 
 /// Renders one table/figure by id.
@@ -80,7 +79,14 @@ fn table1() -> String {
         "Table 1: workloads modeled in DCPerf (N(n) = same order of magnitude as n)\n",
     );
     let rows = [
-        ("Workload", "Web", "Ranking", "Data Caching", "Big Data", "Media Proc."),
+        (
+            "Workload",
+            "Web",
+            "Ranking",
+            "Data Caching",
+            "Big Data",
+            "Media Proc.",
+        ),
         (
             "Benchmarks",
             "MediaWiki, DjangoBench",
@@ -97,12 +103,40 @@ fn table1() -> String {
             "Throughput",
             "Throughput",
         ),
-        ("Req. proc. time", "Seconds", "Seconds", "Milliseconds", "Minutes", "Minutes"),
-        ("Peak CPU util.", "90-100%", "50-70%", "80%", "60-80%", "95-100%"),
+        (
+            "Req. proc. time",
+            "Seconds",
+            "Seconds",
+            "Milliseconds",
+            "Minutes",
+            "Minutes",
+        ),
+        (
+            "Peak CPU util.",
+            "90-100%",
+            "50-70%",
+            "80%",
+            "60-80%",
+            "95-100%",
+        ),
         ("Thread:core", "N(100)", "N(10)", "N(10)", "N(1)", "N(1)"),
-        ("Per-server RPS", "N(1K)", "N(100)", "N(1M)", "N(10)", "N(10)"),
+        (
+            "Per-server RPS",
+            "N(1K)",
+            "N(100)",
+            "N(1M)",
+            "N(10)",
+            "N(10)",
+        ),
         ("RPC fanout", "N(100)", "N(10)", "N(10)", "N(10)", "0"),
-        ("Instr/request", "N(1B)", "N(10B)", "N(1K)", "N(10B)", "N(1M)"),
+        (
+            "Instr/request",
+            "N(1B)",
+            "N(10B)",
+            "N(1K)",
+            "N(10B)",
+            "N(1M)",
+        ),
     ];
     for row in rows {
         let _ = writeln!(
@@ -119,12 +153,36 @@ fn table2() -> String {
         "Table 2: software stacks (paper) and the from-scratch Rust substitutes (this repo)\n",
     );
     let rows = [
-        ("MediaWiki", "HHVM, MediaWiki, Memcached, MySQL, Nginx, wrk", "wiki-markup renderer + dcperf-kvstore + row store + siege-style loadgen"),
-        ("DjangoBench", "Django, UWSGI, Cassandra, Memcached", "share-nothing worker-per-core app + wide-row store + dcperf-kvstore"),
-        ("FeedSim", "OLDIsim, Zlib/Snappy, OpenSSL/fizz, FBThrift/Wangle", "feature-extract/rank pipeline + dcperf-tax (compress/crypto) + dcperf-rpc"),
-        ("TaoBench", "Memcached, Memtier, Folly, fmt, libevent", "dcperf-kvstore read-through cache + memtier-style client + fast/slow pools"),
-        ("SparkBench", "Apache Spark, OpenJDK, SparkSQL", "mini columnar engine with spill-to-disk shuffle (dcperf-workloads::spark)"),
-        ("VideoTranscode", "ffmpeg, svt-av1, libaom, x264", "resize ladder + 8x8 DCT block encoder (dcperf-workloads::video)"),
+        (
+            "MediaWiki",
+            "HHVM, MediaWiki, Memcached, MySQL, Nginx, wrk",
+            "wiki-markup renderer + dcperf-kvstore + row store + siege-style loadgen",
+        ),
+        (
+            "DjangoBench",
+            "Django, UWSGI, Cassandra, Memcached",
+            "share-nothing worker-per-core app + wide-row store + dcperf-kvstore",
+        ),
+        (
+            "FeedSim",
+            "OLDIsim, Zlib/Snappy, OpenSSL/fizz, FBThrift/Wangle",
+            "feature-extract/rank pipeline + dcperf-tax (compress/crypto) + dcperf-rpc",
+        ),
+        (
+            "TaoBench",
+            "Memcached, Memtier, Folly, fmt, libevent",
+            "dcperf-kvstore read-through cache + memtier-style client + fast/slow pools",
+        ),
+        (
+            "SparkBench",
+            "Apache Spark, OpenJDK, SparkSQL",
+            "mini columnar engine with spill-to-disk shuffle (dcperf-workloads::spark)",
+        ),
+        (
+            "VideoTranscode",
+            "ffmpeg, svt-av1, libaom, x264",
+            "resize ladder + 8x8 DCT block encoder (dcperf-workloads::video)",
+        ),
     ];
     for (bench, paper, ours) in rows {
         let _ = writeln!(out, "{bench:<14} paper: {paper}\n{:<14} ours : {ours}", "");
@@ -311,9 +369,8 @@ fn fig10() -> String {
 }
 
 fn fig12() -> String {
-    let mut out = String::from(
-        "Figure 12: CPU-cycle breakdown, application logic vs datacenter tax\n",
-    );
+    let mut out =
+        String::from("Figure 12: CPU-cycle breakdown, application logic vs datacenter tax\n");
     for (bench, prod) in profiles::dcperf_production_pairs() {
         for p in [prod, bench] {
             if p.tax.is_empty() {
@@ -335,9 +392,7 @@ fn fig12() -> String {
 }
 
 fn fig13a() -> String {
-    let mut out = String::from(
-        "Figure 13a: CloudSuite Data Caching, RPS vs CPU utilization\n",
-    );
+    let mut out = String::from("Figure 13a: CloudSuite Data Caching, RPS vs CPU utilization\n");
     for (label, cores) in [("SKU-A (72 cores)", 72u32), ("SKU4 (176 cores)", 176)] {
         let _ = writeln!(out, "{label}:");
         for p in cloudsuite::figure13a(cores) {
@@ -370,9 +425,15 @@ fn fig13c() -> String {
     let cs = cloudsuite::figure13c(InMemoryBench::CloudSuiteAnalytics);
     let sb = cloudsuite::figure13c(InMemoryBench::SparkBench);
     for (a, b) in cs.iter().zip(&sb).step_by(5) {
-        let _ = writeln!(out, "{:>4}   {:>13.0}%  {:>9.0}%", a.elapsed_s, a.cpu_util, b.cpu_util);
+        let _ = writeln!(
+            out,
+            "{:>4}   {:>13.0}%  {:>9.0}%",
+            a.elapsed_s, a.cpu_util, b.cpu_util
+        );
     }
-    out.push_str("shape: ALS stuck ~20% for the whole run; SparkBench 60% I/O stages then 80% compute\n");
+    out.push_str(
+        "shape: ALS stuck ~20% for the whole run; SparkBench 60% I/O stages then 80% compute\n",
+    );
     out
 }
 
@@ -427,9 +488,8 @@ fn fig15() -> String {
 
 fn fig16() -> String {
     let model = Model::new();
-    let mut out = String::from(
-        "Figure 16: TaoBench relative performance across kernels and SKUs\n",
-    );
+    let mut out =
+        String::from("Figure 16: TaoBench relative performance across kernels and SKUs\n");
     for cell in projection::figure16(&model) {
         let _ = writeln!(
             out,

@@ -21,7 +21,10 @@ fn unknown_id_is_an_error() {
 fn render_all_contains_every_id() {
     let all = render_all();
     for id in FIGURE_IDS {
-        assert!(all.contains(&format!("==================== {id} ")), "{id} missing");
+        assert!(
+            all.contains(&format!("==================== {id} ")),
+            "{id} missing"
+        );
     }
 }
 
@@ -142,13 +145,19 @@ fn fig15_vendor_optimization_shape() {
     // Both app-perf deltas are small single-digit positives: the first
     // percentage token on each data row is the appPerf column.
     let mut rows_checked = 0;
-    for line in text.lines().filter(|l| l.starts_with("FB Web") || l.starts_with("Mediawiki")) {
+    for line in text
+        .lines()
+        .filter(|l| l.starts_with("FB Web") || l.starts_with("Mediawiki"))
+    {
         let app_perf = line
             .split_whitespace()
             .find(|t| t.ends_with('%'))
             .and_then(|t| t.trim_end_matches('%').parse::<f64>().ok())
             .unwrap_or_else(|| panic!("no appPerf token in: {line}"));
-        assert!((0.0..10.0).contains(&app_perf), "app perf {app_perf} out of band");
+        assert!(
+            (0.0..10.0).contains(&app_perf),
+            "app perf {app_perf} out of band"
+        );
         rows_checked += 1;
     }
     assert_eq!(rows_checked, 2, "both workloads must be reported");

@@ -146,6 +146,8 @@ pub struct RunContext {
     hooks: HookManager,
     system: SystemInfo,
     benchmark_seed: u64,
+    benchmark_name: String,
+    telemetry: dcperf_telemetry::Telemetry,
 }
 
 impl RunContext {
@@ -153,14 +155,15 @@ impl RunContext {
     pub fn new(config: RunConfig, benchmark_name: &str) -> Self {
         // Derive a per-benchmark seed so adding/removing benchmarks does
         // not perturb the streams of the others.
-        let benchmark_seed = dcperf_util::SplitMix64::mix(
-            config.seed ^ fnv1a(benchmark_name.as_bytes()),
-        );
+        let benchmark_seed =
+            dcperf_util::SplitMix64::mix(config.seed ^ fnv1a(benchmark_name.as_bytes()));
         Self {
             config,
             hooks: HookManager::new(),
             system: SystemInfo::probe(),
             benchmark_seed,
+            benchmark_name: benchmark_name.to_owned(),
+            telemetry: dcperf_telemetry::Telemetry::new(),
         }
     }
 
@@ -187,6 +190,20 @@ impl RunContext {
     /// The benchmark's derived deterministic seed.
     pub fn seed(&self) -> u64 {
         self.benchmark_seed
+    }
+
+    /// The run's telemetry registry. Benchmarks record counters and
+    /// latency histograms here; the framework adds lifecycle phase spans
+    /// and embeds the final snapshot in the report.
+    pub fn telemetry(&self) -> &dcperf_telemetry::Telemetry {
+        &self.telemetry
+    }
+
+    /// Starts a phase span keyed by this run's benchmark name; the span
+    /// records its wall time into the run telemetry when dropped.
+    #[must_use = "the span records on drop; binding it to _ ends it immediately"]
+    pub fn phase_span(&self, phase: dcperf_telemetry::Phase) -> dcperf_telemetry::PhaseSpan {
+        self.telemetry.phase_span(&self.benchmark_name, phase)
     }
 }
 

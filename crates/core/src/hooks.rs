@@ -154,9 +154,8 @@ impl HookManager {
                 for h in &mut hooks {
                     h.on_start();
                 }
-                let mut series_by_hook: Vec<
-                    std::collections::BTreeMap<String, TimeSeries>,
-                > = (0..hooks.len()).map(|_| Default::default()).collect();
+                let mut series_by_hook: Vec<std::collections::BTreeMap<String, TimeSeries>> =
+                    (0..hooks.len()).map(|_| Default::default()).collect();
                 loop {
                     let t_ms = started.elapsed().as_millis() as u64;
                     for (h, store) in hooks.iter_mut().zip(series_by_hook.iter_mut()) {
@@ -604,11 +603,7 @@ impl Hook for PowerHook {
                 }
             }
             if have {
-                out.push((
-                    "power_rapl_watts".into(),
-                    "W",
-                    total_uj as f64 / 1e6 / dt,
-                ));
+                out.push(("power_rapl_watts".into(), "W", total_uj as f64 / 1e6 / dt));
             }
         }
         if let Some(provider) = &mut self.provider {
@@ -667,10 +662,7 @@ pub struct CopyMoveHook {
 
 impl CopyMoveHook {
     /// Creates a hook that copies `sources` into `dest_dir` at run end.
-    pub fn copy(
-        sources: Vec<std::path::PathBuf>,
-        dest_dir: std::path::PathBuf,
-    ) -> Self {
+    pub fn copy(sources: Vec<std::path::PathBuf>, dest_dir: std::path::PathBuf) -> Self {
         Self {
             sources,
             dest_dir,
@@ -679,10 +671,7 @@ impl CopyMoveHook {
     }
 
     /// Creates a hook that moves `sources` into `dest_dir` at run end.
-    pub fn r#move(
-        sources: Vec<std::path::PathBuf>,
-        dest_dir: std::path::PathBuf,
-    ) -> Self {
+    pub fn r#move(sources: Vec<std::path::PathBuf>, dest_dir: std::path::PathBuf) -> Self {
         Self {
             sources,
             dest_dir,
@@ -724,7 +713,11 @@ impl Hook for CopyMoveHook {
             match outcome {
                 Ok(()) => notes.push(format!(
                     "{} {} -> {}",
-                    if self.remove_source { "moved" } else { "copied" },
+                    if self.remove_source {
+                        "moved"
+                    } else {
+                        "copied"
+                    },
                     src.display(),
                     dst.display()
                 )),
@@ -771,7 +764,11 @@ mod tests {
         let r = &reports[0];
         assert_eq!(r.hook, "counting");
         let series = r.series.get("count").expect("series recorded");
-        assert!(series.values.len() >= 2, "got {} samples", series.values.len());
+        assert!(
+            series.values.len() >= 2,
+            "got {} samples",
+            series.values.len()
+        );
         assert_eq!(series.values[0], 1.0);
         assert!(series.mean >= 1.0);
         assert_eq!(r.notes.len(), 1);
@@ -816,7 +813,9 @@ mod tests {
         std::hint::black_box(x);
         let samples = hook.sample();
         assert!(
-            samples.iter().any(|(n, _, v)| n == "cpu_util_total" && *v >= 0.0),
+            samples
+                .iter()
+                .any(|(n, _, v)| n == "cpu_util_total" && *v >= 0.0),
             "samples: {samples:?}"
         );
     }
@@ -826,7 +825,9 @@ mod tests {
     fn mem_stat_hook_samples_on_linux() {
         let mut hook = MemStatHook::new();
         let samples = hook.sample();
-        assert!(samples.iter().any(|(n, _, v)| n == "mem_used_mb" && *v > 0.0));
+        assert!(samples
+            .iter()
+            .any(|(n, _, v)| n == "mem_used_mb" && *v > 0.0));
     }
 
     #[test]
@@ -840,15 +841,17 @@ mod tests {
         let mut hook = CopyMoveHook::copy(vec![src.clone()], dest.clone());
         let notes = hook.on_stop();
         assert!(notes[0].starts_with("copied"), "{notes:?}");
-        assert_eq!(std::fs::read_to_string(dest.join("log.txt")).unwrap(), "hello");
+        assert_eq!(
+            std::fs::read_to_string(dest.join("log.txt")).unwrap(),
+            "hello"
+        );
         assert!(src.exists(), "copy must preserve the source");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn copy_move_hook_moves_files() {
-        let dir =
-            std::env::temp_dir().join(format!("dcperf-hook-move-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("dcperf-hook-move-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let src = dir.join("ts.json");
@@ -864,7 +867,10 @@ mod tests {
     #[test]
     fn topdown_hook_forwards_provider_samples() {
         let mut hook = TopdownHook::new(Box::new(|| {
-            vec![("topdown_frontend".into(), 33.0), ("topdown_retiring".into(), 45.0)]
+            vec![
+                ("topdown_frontend".into(), 33.0),
+                ("topdown_retiring".into(), 45.0),
+            ]
         }));
         let samples = hook.sample();
         assert_eq!(samples.len(), 2);
@@ -874,9 +880,8 @@ mod tests {
 
     #[test]
     fn power_hook_uses_provider_fallback() {
-        let mut hook = PowerHook::with_provider(Box::new(|| {
-            vec![("power_model_watts".into(), 212.5)]
-        }));
+        let mut hook =
+            PowerHook::with_provider(Box::new(|| vec![("power_model_watts".into(), 212.5)]));
         hook.on_start();
         let samples = hook.sample();
         assert!(samples

@@ -8,6 +8,7 @@
 use crate::benchmark::RunContext;
 use crate::hooks::HookReport;
 use crate::sysinfo::SystemInfo;
+use dcperf_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -79,6 +80,10 @@ pub struct BenchmarkReport {
     pub hooks: Vec<HookReport>,
     /// Wall-clock duration of the measured phase, in seconds.
     pub duration_secs: f64,
+    /// Uniform metrics snapshot of the run's telemetry registry: every
+    /// counter, gauge, latency digest (p50/p95/p99/p99.9), and lifecycle
+    /// phase timing recorded during the run.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl BenchmarkReport {
@@ -174,6 +179,7 @@ impl ReportBuilder {
             system: ctx.system().clone(),
             hooks: ctx.hooks_mut().drain_reports(),
             duration_secs: self.started.elapsed().as_secs_f64(),
+            telemetry: ctx.telemetry().snapshot(),
         }
     }
 }

@@ -82,20 +82,30 @@ impl Suite {
         self.run_one(bench.as_ref(), config)
     }
 
-    fn run_one(
-        &self,
-        bench: &dyn Benchmark,
-        config: &RunConfig,
-    ) -> Result<BenchmarkReport, Error> {
+    fn run_one(&self, bench: &dyn Benchmark, config: &RunConfig) -> Result<BenchmarkReport, Error> {
+        use dcperf_telemetry::Phase;
+
         let mut ctx = RunContext::new(config.clone(), bench.name());
-        bench.install(&mut ctx)?;
-        ctx.hooks_mut().register_defaults();
-        let interval = std::time::Duration::from_millis(config.sample_interval_ms.max(1));
-        ctx.hooks_mut().start(interval);
-        let result = bench.run(&mut ctx);
-        // Ensure the sampler stops even on failure.
-        ctx.hooks_mut().stop();
-        let report = result?;
+        {
+            let _setup = ctx.phase_span(Phase::Setup);
+            bench.install(&mut ctx)?;
+            ctx.hooks_mut().register_defaults();
+            let interval = std::time::Duration::from_millis(config.sample_interval_ms.max(1));
+            ctx.hooks_mut().start(interval);
+        }
+        let result = {
+            let _measure = ctx.phase_span(Phase::Measure);
+            bench.run(&mut ctx)
+        };
+        {
+            // Ensure the sampler stops even on failure.
+            let _teardown = ctx.phase_span(Phase::Teardown);
+            ctx.hooks_mut().stop();
+        }
+        let mut report = result?;
+        // The benchmark snapshotted telemetry while the measure span was
+        // still open; refresh so the report sees every lifecycle phase.
+        report.telemetry = ctx.telemetry().snapshot();
         if let Some(dir) = &config.output_dir {
             std::fs::create_dir_all(dir)?;
             let path = dir.join(format!("{}.json", bench.name()));
@@ -126,9 +136,7 @@ impl Suite {
                     None => {
                         return Err(Error::Benchmark {
                             name: bench.name().to_owned(),
-                            message: format!(
-                                "report is missing scoring metric '{metric}'"
-                            ),
+                            message: format!("report is missing scoring metric '{metric}'"),
                         })
                     }
                 }
@@ -271,8 +279,14 @@ mod tests {
     #[should_panic(expected = "registered twice")]
     fn duplicate_names_rejected() {
         let mut s = Suite::new();
-        s.register(Box::new(Fixed { name: "x", rps: 1.0 }));
-        s.register(Box::new(Fixed { name: "x", rps: 2.0 }));
+        s.register(Box::new(Fixed {
+            name: "x",
+            rps: 1.0,
+        }));
+        s.register(Box::new(Fixed {
+            name: "x",
+            rps: 2.0,
+        }));
     }
 
     #[test]
@@ -308,8 +322,7 @@ mod tests {
 
     #[test]
     fn reports_written_to_output_dir() {
-        let dir =
-            std::env::temp_dir().join(format!("dcperf-suite-test-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("dcperf-suite-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let s = two_benchmark_suite();
         let config = RunConfig {
@@ -336,6 +349,20 @@ mod tests {
         let summary = s.run_all(&RunConfig::smoke_test()).unwrap();
         assert_eq!(summary.reports().len(), 1);
         assert!(summary.scores().is_empty());
+    }
+
+    #[test]
+    fn reports_embed_lifecycle_phase_timings() {
+        use dcperf_telemetry::Phase;
+        let s = two_benchmark_suite();
+        let report = s.run("fast", &RunConfig::smoke_test()).unwrap();
+        for phase in [Phase::Setup, Phase::Measure, Phase::Teardown] {
+            let summary = report
+                .telemetry
+                .phase("fast", phase)
+                .unwrap_or_else(|| panic!("missing {phase} phase"));
+            assert_eq!(summary.calls, 1, "{phase} should run exactly once");
+        }
     }
 
     #[test]

@@ -26,8 +26,7 @@ impl SystemInfo {
     /// Probes the current host.
     pub fn probe() -> Self {
         Self {
-            hostname: read_trimmed("/proc/sys/kernel/hostname")
-                .unwrap_or_else(|| "unknown".into()),
+            hostname: read_trimmed("/proc/sys/kernel/hostname").unwrap_or_else(|| "unknown".into()),
             cpu_model: probe_cpu_model().unwrap_or_else(|| "unknown".into()),
             logical_cores: std::thread::available_parallelism()
                 .map(|n| n.get())

@@ -66,8 +66,22 @@ impl std::fmt::Debug for Cache {
 }
 
 impl Cache {
-    /// Creates a cache from `config`.
+    /// Creates a cache from `config` with counters in a private registry.
     pub fn new(config: CacheConfig) -> Self {
+        Self::with_stats(config, CacheStats::new())
+    }
+
+    /// Creates a cache whose counters are registered under
+    /// `kvstore.cache.*` in `telemetry`, so a suite-level registry sees
+    /// cache traffic alongside every other subsystem.
+    pub fn with_telemetry(config: CacheConfig, telemetry: &dcperf_telemetry::Telemetry) -> Self {
+        Self::with_stats(
+            config,
+            CacheStats::with_telemetry(telemetry, "kvstore.cache"),
+        )
+    }
+
+    fn with_stats(config: CacheConfig, stats: CacheStats) -> Self {
         let shard_count = config.shards.max(1).next_power_of_two();
         let per_shard = (config.capacity_bytes / shard_count).max(1);
         Self {
@@ -75,7 +89,7 @@ impl Cache {
                 .map(|_| Mutex::new(Shard::new(per_shard)))
                 .collect(),
             mask: (shard_count - 1) as u64,
-            stats: CacheStats::new(),
+            stats,
             default_ttl_ms: config.default_ttl_ms,
             epoch: Instant::now(),
         }

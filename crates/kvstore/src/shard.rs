@@ -124,19 +124,13 @@ impl Shard {
         self.map.get(key).is_some_and(|&idx| {
             self.slab[idx as usize]
                 .expires_at_ms
-                .map_or(true, |exp| exp > now_ms)
+                .is_none_or(|exp| exp > now_ms)
         })
     }
 
     /// Inserts or replaces `key`, evicting LRU entries to stay within
     /// capacity. Returns the number of entries evicted.
-    pub fn insert(
-        &mut self,
-        key: &[u8],
-        value: Vec<u8>,
-        ttl_ms: Option<u64>,
-        now_ms: u64,
-    ) -> u64 {
+    pub fn insert(&mut self, key: &[u8], value: Vec<u8>, ttl_ms: Option<u64>, now_ms: u64) -> u64 {
         if let Some(&idx) = self.map.get(key) {
             self.remove_idx(idx);
         }

@@ -1,66 +1,83 @@
-//! Cache-wide counters.
+//! Cache-wide counters, recorded through the unified telemetry layer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dcperf_telemetry::{Counter, Telemetry};
+use std::sync::Arc;
 
 /// Hit/miss/fill counters shared across all shards of a
 /// [`Cache`](crate::Cache).
-#[derive(Debug, Default)]
+///
+/// The counters live in a [`Telemetry`] registry (under the
+/// `kvstore.cache.*` namespace by default), so a suite-level registry can
+/// observe the cache alongside every other subsystem; this struct is a
+/// set of pre-resolved handles plus derived-rate helpers.
+#[derive(Debug)]
 pub struct CacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    load_failures: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    insertions: Arc<Counter>,
+    evictions: Arc<Counter>,
+    load_failures: Arc<Counter>,
 }
 
 impl CacheStats {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters in a private registry.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_telemetry(&Telemetry::new(), "kvstore.cache")
+    }
+
+    /// Registers the counters under `<prefix>.*` in `telemetry`.
+    pub fn with_telemetry(telemetry: &Telemetry, prefix: &str) -> Self {
+        Self {
+            hits: telemetry.counter(&format!("{prefix}.hits")),
+            misses: telemetry.counter(&format!("{prefix}.misses")),
+            insertions: telemetry.counter(&format!("{prefix}.insertions")),
+            evictions: telemetry.counter(&format!("{prefix}.evictions")),
+            load_failures: telemetry.counter(&format!("{prefix}.load_failures")),
+        }
     }
 
     pub(crate) fn record_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
     }
 
     pub(crate) fn record_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
     }
 
     pub(crate) fn record_insertion(&self, evicted: u64) {
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.inc();
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions.add(evicted);
         }
     }
 
     pub(crate) fn record_load_failure(&self) {
-        self.load_failures.fetch_add(1, Ordering::Relaxed);
+        self.load_failures.inc();
     }
 
     /// Cache hits.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cache misses.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Entries inserted (sets plus read-through fills).
     pub fn insertions(&self) -> u64 {
-        self.insertions.load(Ordering::Relaxed)
+        self.insertions.get()
     }
 
     /// Entries evicted for capacity.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
 
     /// Read-through loads that returned nothing.
     pub fn load_failures(&self) -> u64 {
-        self.load_failures.load(Ordering::Relaxed)
+        self.load_failures.get()
     }
 
     /// Hit rate over all lookups (0.0 before any lookup).
@@ -72,6 +89,12 @@ impl CacheStats {
         } else {
             hits as f64 / total as f64
         }
+    }
+}
+
+impl Default for CacheStats {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -97,5 +120,16 @@ mod tests {
         s.record_insertion(3);
         assert_eq!(s.insertions(), 2);
         assert_eq!(s.evictions(), 3);
+    }
+
+    #[test]
+    fn counters_appear_in_shared_registry() {
+        let telemetry = Telemetry::new();
+        let s = CacheStats::with_telemetry(&telemetry, "kvstore.cache");
+        s.record_hit();
+        s.record_miss();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("kvstore.cache.hits"), Some(1));
+        assert_eq!(snap.counter("kvstore.cache.misses"), Some(1));
     }
 }

@@ -42,9 +42,10 @@
 #![warn(missing_docs)]
 
 use crossbeam::channel::{bounded, RecvTimeoutError};
+use dcperf_telemetry::{Counter, Telemetry, TelemetrySnapshot};
 use dcperf_util::{Empirical, Exponential, Histogram, Rng, Xoshiro256pp};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// An error returned by a [`Service`] call.
@@ -136,6 +137,10 @@ pub struct LoadReport {
     pub response_bytes: u64,
     /// Per-endpoint completion counts, index-aligned with the mix.
     pub per_endpoint: Vec<u64>,
+    /// Snapshot of the run's telemetry registry: every count above under
+    /// `loadgen.*` names plus the latency-histogram digest, ready to embed
+    /// in a benchmark report or diff against other subsystems.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl LoadReport {
@@ -164,12 +169,57 @@ impl LoadReport {
     }
 }
 
-#[derive(Debug, Default)]
-struct SharedTally {
-    completed: AtomicU64,
-    errors: AtomicU64,
-    dropped: AtomicU64,
-    bytes: AtomicU64,
+/// Per-run counter handles resolved from the run's telemetry registry.
+///
+/// Workers record through these (single relaxed atomics / wait-free
+/// histogram stripes); the registry itself is only locked to create the
+/// handles and to take the final snapshot.
+struct RunRecorder {
+    telemetry: Telemetry,
+    completed: Arc<Counter>,
+    errors: Arc<Counter>,
+    dropped: Arc<Counter>,
+    bytes: Arc<Counter>,
+    latency: Arc<dcperf_telemetry::ConcurrentHistogram>,
+    per_endpoint: Vec<Arc<Counter>>,
+}
+
+impl RunRecorder {
+    /// Resolves handles from `shared` when given, so the run's counters
+    /// and latency digest land in the caller's registry (and therefore in
+    /// any report snapshot taken from it); otherwise uses a private one.
+    fn new(mix: &EndpointMix, shared: Option<&Telemetry>) -> Self {
+        let telemetry = shared.cloned().unwrap_or_default();
+        Self {
+            completed: telemetry.counter("loadgen.completed"),
+            errors: telemetry.counter("loadgen.errors"),
+            dropped: telemetry.counter("loadgen.dropped"),
+            bytes: telemetry.counter("loadgen.response_bytes"),
+            latency: telemetry.histogram("loadgen.latency_ns"),
+            per_endpoint: mix
+                .names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| telemetry.counter(&format!("loadgen.endpoint.{i}.{name}")))
+                .collect(),
+            telemetry,
+        }
+    }
+
+    /// Freezes the run into a report. Call only after every worker has
+    /// joined, so the histogram snapshot is exact.
+    fn into_report(self, duration: Duration) -> LoadReport {
+        LoadReport {
+            completed: self.completed.get(),
+            errors: self.errors.get(),
+            dropped: self.dropped.get(),
+            latency_ns: self.latency.snapshot(),
+            duration,
+            response_bytes: self.bytes.get(),
+            per_endpoint: self.per_endpoint.iter().map(|c| c.get()).collect(),
+            telemetry: self.telemetry.snapshot(),
+        }
+    }
 }
 
 /// Closed-loop driver: each worker issues the next request as soon as the
@@ -180,6 +230,7 @@ pub struct ClosedLoop {
     workers: usize,
     duration: Duration,
     max_requests: Option<u64>,
+    telemetry: Option<Telemetry>,
 }
 
 impl ClosedLoop {
@@ -190,7 +241,16 @@ impl ClosedLoop {
             workers: 4,
             duration: Duration::from_secs(1),
             max_requests: None,
+            telemetry: None,
         }
+    }
+
+    /// Records the run onto `telemetry` instead of a private registry
+    /// (builder style). Counter names are shared across runs, so two runs
+    /// on the same registry accumulate — keep warmup runs on their own.
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = Some(telemetry.clone());
+        self
     }
 
     /// Sets the worker count (builder style).
@@ -214,10 +274,7 @@ impl ClosedLoop {
 
     /// Runs the workload and gathers a report.
     pub fn run<S: Service>(&self, service: &S, seed: u64) -> LoadReport {
-        let tally = SharedTally::default();
-        let hist = Mutex::new(Histogram::new());
-        let per_endpoint: Vec<AtomicU64> =
-            (0..self.mix.names.len()).map(|_| AtomicU64::new(0)).collect();
+        let recorder = RunRecorder::new(&self.mix, self.telemetry.as_ref());
         let stop = AtomicBool::new(false);
         let issued = AtomicU64::new(0);
         let budget = self.max_requests.unwrap_or(u64::MAX);
@@ -227,54 +284,37 @@ impl ClosedLoop {
             for w in 0..self.workers {
                 let mut rng = Xoshiro256pp::seed_from_u64(seed ^ (w as u64) << 32);
                 let mix = &self.mix;
-                let tally = &tally;
-                let hist = &hist;
-                let per_endpoint = &per_endpoint;
+                let recorder = &recorder;
                 let stop = &stop;
                 let issued = &issued;
                 let deadline = started + self.duration;
-                scope.spawn(move || {
-                    let mut local_hist = Histogram::new();
-                    loop {
-                        if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
-                            break;
+                scope.spawn(move || loop {
+                    if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
+                        break;
+                    }
+                    let seq = issued.fetch_add(1, Ordering::Relaxed);
+                    if seq >= budget {
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    let endpoint = mix.sample(&mut rng);
+                    let t0 = Instant::now();
+                    match service.call(endpoint, seq) {
+                        Ok(bytes) => {
+                            recorder.latency.record(t0.elapsed().as_nanos() as u64);
+                            recorder.completed.inc();
+                            recorder.bytes.add(bytes as u64);
+                            recorder.per_endpoint[endpoint].inc();
                         }
-                        let seq = issued.fetch_add(1, Ordering::Relaxed);
-                        if seq >= budget {
-                            stop.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                        let endpoint = mix.sample(&mut rng);
-                        let t0 = Instant::now();
-                        match service.call(endpoint, seq) {
-                            Ok(bytes) => {
-                                local_hist.record(t0.elapsed().as_nanos() as u64);
-                                tally.completed.fetch_add(1, Ordering::Relaxed);
-                                tally.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-                                per_endpoint[endpoint].fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(_) => {
-                                tally.errors.fetch_add(1, Ordering::Relaxed);
-                            }
+                        Err(_) => {
+                            recorder.errors.inc();
                         }
                     }
-                    hist.lock().merge(&local_hist);
                 });
             }
         });
 
-        LoadReport {
-            completed: tally.completed.load(Ordering::Relaxed),
-            errors: tally.errors.load(Ordering::Relaxed),
-            dropped: 0,
-            latency_ns: hist.into_inner(),
-            duration: started.elapsed(),
-            response_bytes: tally.bytes.load(Ordering::Relaxed),
-            per_endpoint: per_endpoint
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-        }
+        recorder.into_report(started.elapsed())
     }
 }
 
@@ -289,6 +329,7 @@ pub struct OpenLoop {
     duration: Duration,
     offered_rps: f64,
     queue_depth: usize,
+    telemetry: Option<Telemetry>,
 }
 
 impl OpenLoop {
@@ -301,7 +342,16 @@ impl OpenLoop {
             duration: Duration::from_secs(1),
             offered_rps: offered_rps.max(1.0),
             queue_depth: 1024,
+            telemetry: None,
         }
+    }
+
+    /// Records the run onto `telemetry` instead of a private registry
+    /// (builder style). Counter names are shared across runs, so two runs
+    /// on the same registry accumulate — keep warmup runs on their own.
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = Some(telemetry.clone());
+        self
     }
 
     /// Sets the worker count (builder style).
@@ -329,10 +379,7 @@ impl OpenLoop {
     /// Panics only if the internal arrival-rate distribution is invalid,
     /// which the constructor's clamping prevents.
     pub fn run<S: Service>(&self, service: &S, seed: u64) -> LoadReport {
-        let tally = SharedTally::default();
-        let hist = Mutex::new(Histogram::new());
-        let per_endpoint: Vec<AtomicU64> =
-            (0..self.mix.names.len()).map(|_| AtomicU64::new(0)).collect();
+        let recorder = RunRecorder::new(&self.mix, self.telemetry.as_ref());
         let started = Instant::now();
         let deadline = started + self.duration;
         // Arrival = (endpoint, seq, scheduled time).
@@ -342,9 +389,9 @@ impl OpenLoop {
             // Dispatcher.
             {
                 let mix = &self.mix;
-                let tally = &tally;
-                let gaps = Exponential::new(self.offered_rps)
-                    .expect("offered rate clamped positive");
+                let recorder = &recorder;
+                let gaps =
+                    Exponential::new(self.offered_rps).expect("offered rate clamped positive");
                 let mut rng = Xoshiro256pp::seed_from_u64(seed);
                 let tx = tx.clone();
                 scope.spawn(move || {
@@ -362,7 +409,7 @@ impl OpenLoop {
                         match tx.try_send((endpoint, seq, next)) {
                             Ok(()) => {}
                             Err(_) => {
-                                tally.dropped.fetch_add(1, Ordering::Relaxed);
+                                recorder.dropped.inc();
                             }
                         }
                         seq += 1;
@@ -373,57 +420,34 @@ impl OpenLoop {
             drop(tx);
 
             for _ in 0..self.workers {
-                let tally = &tally;
-                let hist = &hist;
-                let per_endpoint = &per_endpoint;
+                let recorder = &recorder;
                 let rx = rx.clone();
-                scope.spawn(move || {
-                    let mut local_hist = Histogram::new();
-                    loop {
-                        match rx.recv_timeout(Duration::from_millis(50)) {
-                            Ok((endpoint, seq, scheduled)) => {
-                                match service.call(endpoint, seq) {
-                                    Ok(bytes) => {
-                                        let lat = Instant::now()
-                                            .saturating_duration_since(scheduled);
-                                        local_hist.record(lat.as_nanos() as u64);
-                                        tally.completed.fetch_add(1, Ordering::Relaxed);
-                                        tally
-                                            .bytes
-                                            .fetch_add(bytes as u64, Ordering::Relaxed);
-                                        per_endpoint[endpoint]
-                                            .fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    Err(_) => {
-                                        tally.errors.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                }
+                scope.spawn(move || loop {
+                    match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok((endpoint, seq, scheduled)) => match service.call(endpoint, seq) {
+                            Ok(bytes) => {
+                                let lat = Instant::now().saturating_duration_since(scheduled);
+                                recorder.latency.record(lat.as_nanos() as u64);
+                                recorder.completed.inc();
+                                recorder.bytes.add(bytes as u64);
+                                recorder.per_endpoint[endpoint].inc();
                             }
-                            Err(RecvTimeoutError::Timeout) => {
-                                if Instant::now() >= deadline {
-                                    break;
-                                }
+                            Err(_) => {
+                                recorder.errors.inc();
                             }
-                            Err(RecvTimeoutError::Disconnected) => break,
+                        },
+                        Err(RecvTimeoutError::Timeout) => {
+                            if Instant::now() >= deadline {
+                                break;
+                            }
                         }
+                        Err(RecvTimeoutError::Disconnected) => break,
                     }
-                    hist.lock().merge(&local_hist);
                 });
             }
         });
 
-        LoadReport {
-            completed: tally.completed.load(Ordering::Relaxed),
-            errors: tally.errors.load(Ordering::Relaxed),
-            dropped: tally.dropped.load(Ordering::Relaxed),
-            latency_ns: hist.into_inner(),
-            duration: started.elapsed(),
-            response_bytes: tally.bytes.load(Ordering::Relaxed),
-            per_endpoint: per_endpoint
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-        }
+        recorder.into_report(started.elapsed())
     }
 }
 
@@ -532,7 +556,7 @@ mod tests {
 
     impl Service for Flaky {
         fn call(&self, _endpoint: usize, seq: u64) -> Result<usize, ServiceError> {
-            if seq % 4 == 0 {
+            if seq.is_multiple_of(4) {
                 Err(ServiceError("planned failure".into()))
             } else {
                 Ok(1)
@@ -553,7 +577,11 @@ mod tests {
         assert!(report.completed > 100, "completed={}", report.completed);
         assert_eq!(report.errors, 0);
         assert!(report.throughput_rps() > 1000.0);
-        assert!(report.latency_ns.p50() >= 90_000, "p50={}", report.latency_ns.p50());
+        assert!(
+            report.latency_ns.p50() >= 90_000,
+            "p50={}",
+            report.latency_ns.p50()
+        );
         assert_eq!(report.response_bytes, report.completed * 10);
     }
 
@@ -565,7 +593,10 @@ mod tests {
             .max_requests(500)
             .run(&Sleepy { us: 0 }, 2);
         assert!(report.completed <= 500);
-        assert!(report.duration < Duration::from_secs(5), "cap should end early");
+        assert!(
+            report.duration < Duration::from_secs(5),
+            "cap should end early"
+        );
     }
 
     #[test]
@@ -632,7 +663,11 @@ mod tests {
             |rate| {
                 // Fabricate a report whose p95 blows up past capacity.
                 let mut hist = Histogram::new();
-                let lat_ns = if rate <= 1000.0 { 1_000_000 } else { 600_000_000 };
+                let lat_ns = if rate <= 1000.0 {
+                    1_000_000
+                } else {
+                    600_000_000
+                };
                 for _ in 0..100 {
                     hist.record(lat_ns);
                 }
@@ -644,6 +679,7 @@ mod tests {
                     duration: Duration::from_secs(1),
                     response_bytes: 0,
                     per_endpoint: vec![rate as u64],
+                    telemetry: TelemetrySnapshot::default(),
                 }
             },
             |report| report.p95_ms() <= 500.0,
@@ -671,6 +707,7 @@ mod tests {
                 duration: Duration::from_secs(1),
                 response_bytes: 0,
                 per_endpoint: vec![0],
+                telemetry: TelemetrySnapshot::default(),
             },
             |report| report.error_rate() < 0.01,
         );

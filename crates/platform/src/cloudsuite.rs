@@ -77,8 +77,8 @@ pub fn figure13b() -> Vec<WebServingPoint> {
     (1..=14)
         .map(|i| {
             let load = (i * 30) as f64 - 20.0; // 10, 40, 70, ..., 400
-            // Linear up to the worker-pool knee at load 100 (~62 ops/s),
-            // then only a slow creep (the paper's plateau).
+                                               // Linear up to the worker-pool knee at load 100 (~62 ops/s),
+                                               // then only a slow creep (the paper's plateau).
             let ops = if load <= 100.0 {
                 load * 0.62
             } else {

@@ -48,5 +48,7 @@ pub mod sku;
 pub mod vendor;
 
 pub use model::{Model, OsConfig, PerfEstimate};
-pub use profile::{profiles, MicroAnchor, PowerBreakdown, ProfileKind, TaxSlice, Tmam, WorkloadProfile};
+pub use profile::{
+    profiles, MicroAnchor, PowerBreakdown, ProfileKind, TaxSlice, Tmam, WorkloadProfile,
+};
 pub use sku::{Isa, SkuSpec};

@@ -194,10 +194,7 @@ impl Model {
     /// line (the §5.3 `tg->load_avg` counter) degrades superlinearly as
     /// every core both updates it and pays coherence misses on it.
     fn usl(n: f64, sigma: f64, kappa_app: f64, kappa_kernel: f64) -> f64 {
-        n / (1.0
-            + sigma * (n - 1.0)
-            + kappa_app * n * (n - 1.0)
-            + kappa_kernel * n.powi(4))
+        n / (1.0 + sigma * (n - 1.0) + kappa_app * n * (n - 1.0) + kappa_kernel * n.powi(4))
     }
 
     fn effective_cores(profile: &WorkloadProfile, sku: &SkuSpec) -> f64 {
@@ -251,15 +248,14 @@ impl Model {
         // --- 2. TMAM ------------------------------------------------------
         let beta = adj.frontend_beta.unwrap_or_else(|| self.frontend_beta());
         let mpki_ratio = l1i_mpki / anchor.l1i_mpki.max(0.01);
-        let frontend =
-            (anchor_tmam.frontend * (1.0 + beta * (mpki_ratio - 1.0))).clamp(1.0, 75.0);
+        let frontend = (anchor_tmam.frontend * (1.0 + beta * (mpki_ratio - 1.0))).clamp(1.0, 75.0);
 
         let bad_spec = (anchor_tmam.bad_spec * (reference.branch_quality / sku.branch_quality))
             .clamp(0.5, 40.0);
 
         // Memory-bound share of backend stalls grows with the data set.
-        let mem_frac = (profile.data_mb / (profile.data_mb + 20.0 * reference.llc_mb))
-            .clamp(0.1, 0.9);
+        let mem_frac =
+            (profile.data_mb / (profile.data_mb + 20.0 * reference.llc_mb)).clamp(0.1, 0.9);
         let llc_relief = Self::llc_miss_ratio(profile.data_mb, sku.llc_mb)
             / Self::llc_miss_ratio(profile.data_mb, reference.llc_mb).max(1e-6);
         // Bandwidth demand scales with the raw compute capability ratio.
@@ -281,8 +277,7 @@ impl Model {
         // delay turns into backend-bound slots the anchor never had.
         let u_sku = (demand_sku / sku.mem_bw_gbs.max(1.0)).min(0.95);
         let u_ref = (demand_ref / reference.mem_bw_gbs.max(1.0)).min(0.95);
-        let extra_backend =
-            28.0 * ((u_sku - 0.55).max(0.0) - (u_ref - 0.55).max(0.0));
+        let extra_backend = 28.0 * ((u_sku - 0.55).max(0.0) - (u_ref - 0.55).max(0.0));
         let backend = (backend + extra_backend).clamp(0.5, 85.0);
 
         let retiring = (100.0 - frontend - bad_spec - backend).max(5.0);
@@ -295,7 +290,8 @@ impl Model {
         .normalized();
 
         // --- 3. IPC -------------------------------------------------------
-        let ipc_raw = anchor.ipc * (tmam.retiring / anchor_tmam.retiring)
+        let ipc_raw = anchor.ipc
+            * (tmam.retiring / anchor_tmam.retiring)
             * (sku.issue_width / reference.issue_width).sqrt();
         // A physical core cannot sustain more IPC than its width allows;
         // narrow efficiency cores cap high-ILP workloads (Spark, video).
@@ -353,12 +349,10 @@ impl Model {
         // much work each busy cycle retires: SPEC's dense, fully-utilized
         // execution fills a big part's power envelope; stall-heavy,
         // SLO-bound services leave much of it dark.
-        let act = ((anchor.cpu_util_total / 100.0).powi(2)
-            * (anchor_tmam.retiring / 45.0))
+        let act = ((anchor.cpu_util_total / 100.0).powi(2) * (anchor_tmam.retiring / 45.0))
             .clamp(0.0, 1.6);
-        let envelope = (1.0
-            + (0.0875 * act - 0.648 * (1.0 - act)) * (n_sku / n_ref).ln())
-        .clamp(0.45, 2.0);
+        let envelope =
+            (1.0 + (0.0875 * act - 0.648 * (1.0 - act)) * (n_sku / n_ref).ln()).clamp(0.45, 2.0);
         let power_w = sku.design_power_w * power_pct.total() / 100.0 * envelope;
         let perf_per_watt = throughput / power_w.max(1.0);
 
@@ -393,14 +387,25 @@ mod tests {
     fn reference_projection_reproduces_anchor() {
         let m = model();
         let os = OsConfig::default();
-        for p in profiles::dcperf_suite().iter().chain(profiles::production_suite().iter()) {
+        for p in profiles::dcperf_suite()
+            .iter()
+            .chain(profiles::production_suite().iter())
+        {
             let est = m.evaluate(p, &sku::SKU2, &os);
             let a = p.anchor.tmam.normalized();
             assert!((est.throughput - 1.0).abs() < 1e-9, "{}", p.name);
             assert!((est.ipc - p.anchor.ipc).abs() < 1e-9, "{}", p.name);
-            assert!((est.l1i_mpki - p.anchor.l1i_mpki).abs() < 1e-9, "{}", p.name);
+            assert!(
+                (est.l1i_mpki - p.anchor.l1i_mpki).abs() < 1e-9,
+                "{}",
+                p.name
+            );
             assert!((est.tmam.frontend - a.frontend).abs() < 1e-6, "{}", p.name);
-            assert!((est.freq_ghz - p.anchor.freq_ghz).abs() < 1e-9, "{}", p.name);
+            assert!(
+                (est.freq_ghz - p.anchor.freq_ghz).abs() < 1e-9,
+                "{}",
+                p.name
+            );
             assert!(
                 (est.mem_bw_gbs - p.anchor.mem_bw_gbs).abs() < 1e-9,
                 "{}",
@@ -417,7 +422,12 @@ mod tests {
             for s in [&sku::SKU1, &sku::SKU3, &sku::SKU4, &sku::SKU_A, &sku::SKU_B] {
                 let t = m.evaluate(&p, s, &os).tmam;
                 let sum = t.frontend + t.bad_spec + t.backend + t.retiring;
-                assert!((sum - 100.0).abs() < 1e-6, "{} on {}: {sum}", p.name, s.name);
+                assert!(
+                    (sum - 100.0).abs() < 1e-6,
+                    "{} on {}: {sum}",
+                    p.name,
+                    s.name
+                );
             }
         }
     }
@@ -448,10 +458,10 @@ mod tests {
         // to an otherwise-identical SKU with SKU-A's 64 KiB L1-I.
         let mut sku_b_big_l1i = sku::SKU_B.clone();
         sku_b_big_l1i.l1i_kb = 64.0;
-        let web_drop = m.evaluate(&web, &sku::SKU_B, &os).ipc
-            / m.evaluate(&web, &sku_b_big_l1i, &os).ipc;
-        let video_drop = m.evaluate(&video, &sku::SKU_B, &os).ipc
-            / m.evaluate(&video, &sku_b_big_l1i, &os).ipc;
+        let web_drop =
+            m.evaluate(&web, &sku::SKU_B, &os).ipc / m.evaluate(&web, &sku_b_big_l1i, &os).ipc;
+        let video_drop =
+            m.evaluate(&video, &sku::SKU_B, &os).ipc / m.evaluate(&video, &sku_b_big_l1i, &os).ipc;
         assert!(web_drop < 0.85, "web ipc ratio {web_drop}");
         assert!(
             web_drop < video_drop - 0.05,
@@ -521,10 +531,7 @@ mod tests {
         };
         let opt = m.evaluate_adjusted(&mw, &sku::SKU2, &os, &adj);
         let ipc_gain = opt.ipc / base.ipc - 1.0;
-        assert!(
-            (0.005..=0.05).contains(&ipc_gain),
-            "ipc gain {ipc_gain}"
-        );
+        assert!((0.005..=0.05).contains(&ipc_gain), "ipc gain {ipc_gain}");
         assert!((opt.l1i_mpki / base.l1i_mpki - 0.64).abs() < 1e-9);
     }
 

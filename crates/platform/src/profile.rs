@@ -168,12 +168,20 @@ pub struct WorkloadProfile {
 impl WorkloadProfile {
     /// Sum of tax (non-app) slices, % of cycles.
     pub fn tax_percent(&self) -> f64 {
-        self.tax.iter().filter(|s| !s.is_app).map(|s| s.percent).sum()
+        self.tax
+            .iter()
+            .filter(|s| !s.is_app)
+            .map(|s| s.percent)
+            .sum()
     }
 
     /// Sum of application slices, % of cycles.
     pub fn app_percent(&self) -> f64 {
-        self.tax.iter().filter(|s| s.is_app).map(|s| s.percent).sum()
+        self.tax
+            .iter()
+            .filter(|s| s.is_app)
+            .map(|s| s.percent)
+            .sum()
     }
 }
 
@@ -761,16 +769,106 @@ pub mod profiles {
     /// The SPEC 2017 subset used in Figures 4–11.
     pub fn spec2017_suite() -> Vec<WorkloadProfile> {
         vec![
-            spec17("500.perlbench", Tmam::new(29.0, 3.0, 19.0, 49.0), 2.0, 16.0, 3.0, 2.07, 77.0, 80.0),
-            spec17("502.gcc", Tmam::new(29.0, 9.0, 16.0, 47.0), 1.6, 43.0, 9.0, 2.08, 80.0, 900.0),
-            spec17("505.mcf", Tmam::new(13.0, 11.0, 59.0, 17.0), 0.6, 68.0, 2.0, 2.00, 82.0, 3_300.0),
-            spec17("520.omnetpp", Tmam::new(15.0, 7.0, 56.0, 22.0), 0.8, 50.0, 4.0, 2.17, 80.0, 1_700.0),
-            spec17("523.xalancbmk", Tmam::new(21.0, 2.0, 43.0, 33.0), 1.5, 18.0, 4.0, 2.16, 80.0, 400.0),
-            spec17("525.x264", Tmam::new(10.0, 5.0, 25.0, 60.0), 3.3, 5.0, 4.0, 2.14, 75.0, 100.0),
-            spec17("531.deepsjeng", Tmam::new(28.0, 11.0, 9.0, 51.0), 2.1, 8.0, 1.0, 2.13, 77.0, 600.0),
-            spec17("541.leela", Tmam::new(22.0, 20.0, 10.0, 48.0), 1.9, 3.0, 1.0, 2.15, 74.0, 30.0),
-            spec17("548.exchange2", Tmam::new(23.0, 7.0, 3.0, 67.0), 2.5, 0.3, 2.0, 2.08, 71.0, 1.0),
-            spec17("557.xz", Tmam::new(14.0, 17.0, 23.0, 45.0), 1.8, 21.0, 2.0, 2.19, 80.0, 1_800.0),
+            spec17(
+                "500.perlbench",
+                Tmam::new(29.0, 3.0, 19.0, 49.0),
+                2.0,
+                16.0,
+                3.0,
+                2.07,
+                77.0,
+                80.0,
+            ),
+            spec17(
+                "502.gcc",
+                Tmam::new(29.0, 9.0, 16.0, 47.0),
+                1.6,
+                43.0,
+                9.0,
+                2.08,
+                80.0,
+                900.0,
+            ),
+            spec17(
+                "505.mcf",
+                Tmam::new(13.0, 11.0, 59.0, 17.0),
+                0.6,
+                68.0,
+                2.0,
+                2.00,
+                82.0,
+                3_300.0,
+            ),
+            spec17(
+                "520.omnetpp",
+                Tmam::new(15.0, 7.0, 56.0, 22.0),
+                0.8,
+                50.0,
+                4.0,
+                2.17,
+                80.0,
+                1_700.0,
+            ),
+            spec17(
+                "523.xalancbmk",
+                Tmam::new(21.0, 2.0, 43.0, 33.0),
+                1.5,
+                18.0,
+                4.0,
+                2.16,
+                80.0,
+                400.0,
+            ),
+            spec17(
+                "525.x264",
+                Tmam::new(10.0, 5.0, 25.0, 60.0),
+                3.3,
+                5.0,
+                4.0,
+                2.14,
+                75.0,
+                100.0,
+            ),
+            spec17(
+                "531.deepsjeng",
+                Tmam::new(28.0, 11.0, 9.0, 51.0),
+                2.1,
+                8.0,
+                1.0,
+                2.13,
+                77.0,
+                600.0,
+            ),
+            spec17(
+                "541.leela",
+                Tmam::new(22.0, 20.0, 10.0, 48.0),
+                1.9,
+                3.0,
+                1.0,
+                2.15,
+                74.0,
+                30.0,
+            ),
+            spec17(
+                "548.exchange2",
+                Tmam::new(23.0, 7.0, 3.0, 67.0),
+                2.5,
+                0.3,
+                2.0,
+                2.08,
+                71.0,
+                1.0,
+            ),
+            spec17(
+                "557.xz",
+                Tmam::new(14.0, 17.0, 23.0, 45.0),
+                1.8,
+                21.0,
+                2.0,
+                2.19,
+                80.0,
+                1_800.0,
+            ),
         ]
     }
 
@@ -814,7 +912,13 @@ pub mod profiles {
 
     /// The DCPerf suite used for the Figure 2 score.
     pub fn dcperf_suite() -> Vec<WorkloadProfile> {
-        vec![taobench(), feedsim(), djangobench(), mediawiki(), sparkbench()]
+        vec![
+            taobench(),
+            feedsim(),
+            djangobench(),
+            mediawiki(),
+            sparkbench(),
+        ]
     }
 
     /// `(DCPerf benchmark, production counterpart)` pairs, as in

@@ -20,17 +20,11 @@ pub struct SuiteScore {
 /// Computes a suite score on `sku`: the geometric mean across workloads
 /// of per-workload throughput normalized to SKU1. Production workloads
 /// are weighted by fleet power share, as in §4.1.
-pub fn suite_score(
-    model: &Model,
-    suite: &[WorkloadProfile],
-    sku: &SkuSpec,
-    os: &OsConfig,
-) -> f64 {
+pub fn suite_score(model: &Model, suite: &[WorkloadProfile], sku: &SkuSpec, os: &OsConfig) -> f64 {
     let ratios: Vec<f64> = suite
         .iter()
         .map(|p| {
-            model.evaluate(p, sku, os).throughput
-                / model.evaluate(p, &sku::SKU1, os).throughput
+            model.evaluate(p, sku, os).throughput / model.evaluate(p, &sku::SKU1, os).throughput
         })
         .collect();
     let weighted = suite
@@ -158,23 +152,46 @@ pub struct KernelScalingCell {
 pub fn figure16(model: &Model) -> Vec<KernelScalingCell> {
     let tao = profiles::taobench();
     let cells = [
-        (&sku::SKU4, KernelVersion::V6_4, "176-core SKU", "Kernel 6.4"),
-        (&sku::SKU_384C, KernelVersion::V6_4, "384-core SKU", "Kernel 6.4"),
-        (&sku::SKU4, KernelVersion::V6_9, "176-core SKU", "Kernel 6.9"),
-        (&sku::SKU_384C, KernelVersion::V6_9, "384-core SKU", "Kernel 6.9"),
+        (
+            &sku::SKU4,
+            KernelVersion::V6_4,
+            "176-core SKU",
+            "Kernel 6.4",
+        ),
+        (
+            &sku::SKU_384C,
+            KernelVersion::V6_4,
+            "384-core SKU",
+            "Kernel 6.4",
+        ),
+        (
+            &sku::SKU4,
+            KernelVersion::V6_9,
+            "176-core SKU",
+            "Kernel 6.9",
+        ),
+        (
+            &sku::SKU_384C,
+            KernelVersion::V6_9,
+            "384-core SKU",
+            "Kernel 6.9",
+        ),
     ];
     let base = model
-        .evaluate(&tao, &sku::SKU4, &OsConfig { kernel: KernelVersion::V6_4 })
+        .evaluate(
+            &tao,
+            &sku::SKU4,
+            &OsConfig {
+                kernel: KernelVersion::V6_4,
+            },
+        )
         .throughput;
     cells
         .iter()
         .map(|(s, k, sku_label, kernel_label)| KernelScalingCell {
             sku: sku_label,
             kernel: kernel_label,
-            relative_percent: model
-                .evaluate(&tao, s, &OsConfig { kernel: *k })
-                .throughput
-                / base
+            relative_percent: model.evaluate(&tao, s, &OsConfig { kernel: *k }).throughput / base
                 * 100.0,
         })
         .collect()

@@ -10,16 +10,16 @@ use proptest::prelude::*;
 /// microarchitectural knobs.
 fn sku_strategy() -> impl Strategy<Value = SkuSpec> {
     (
-        2u32..256,            // physical cores
-        1u32..3,              // smt ways
+        2u32..256,                                                    // physical cores
+        1u32..3,                                                      // smt ways
         prop_oneof![Just(16.0), Just(32.0), Just(64.0), Just(128.0)], // l1i
-        8.0f64..512.0,        // llc mb
-        40.0f64..800.0,       // mem bw
-        60.0f64..140.0,       // latency
-        1.2f64..3.5,          // sustained ghz
-        2.0f64..8.0,          // issue width
-        0.8f64..1.3,          // branch quality
-        100.0f64..800.0,      // design power
+        8.0f64..512.0,                                                // llc mb
+        40.0f64..800.0,                                               // mem bw
+        60.0f64..140.0,                                               // latency
+        1.2f64..3.5,                                                  // sustained ghz
+        2.0f64..8.0,                                                  // issue width
+        0.8f64..1.3,                                                  // branch quality
+        100.0f64..800.0,                                              // design power
     )
         .prop_map(
             |(phys, smt, l1i, llc, bw, lat, ghz, width, branch, power)| SkuSpec {

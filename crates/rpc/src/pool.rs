@@ -8,7 +8,7 @@
 //! observable (shed requests) rather than unbounded memory growth.
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use std::sync::atomic::{AtomicU64, Ordering};
+use dcperf_telemetry::{Counter, Telemetry};
 use std::sync::Arc;
 
 /// Which pool a job is routed to.
@@ -59,15 +59,50 @@ impl PoolConfig {
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// Counters exposed by a running pool.
-#[derive(Debug, Default)]
+/// Counters exposed by a running pool, recorded through the unified
+/// telemetry layer (namespace `rpc.pool.*` by default).
+#[derive(Debug)]
 pub struct PoolStats {
+    fast_jobs: Arc<Counter>,
+    slow_jobs: Arc<Counter>,
+    shed_jobs: Arc<Counter>,
+}
+
+impl PoolStats {
+    /// Creates zeroed counters in a private registry.
+    pub fn new() -> Self {
+        Self::with_telemetry(&Telemetry::new(), "rpc.pool")
+    }
+
+    /// Registers the counters under `<prefix>.*` in `telemetry`.
+    pub fn with_telemetry(telemetry: &Telemetry, prefix: &str) -> Self {
+        Self {
+            fast_jobs: telemetry.counter(&format!("{prefix}.fast_jobs")),
+            slow_jobs: telemetry.counter(&format!("{prefix}.slow_jobs")),
+            shed_jobs: telemetry.counter(&format!("{prefix}.shed_jobs")),
+        }
+    }
+
     /// Jobs accepted into the fast lane.
-    pub fast_jobs: AtomicU64,
+    pub fn fast_jobs(&self) -> u64 {
+        self.fast_jobs.get()
+    }
+
     /// Jobs accepted into the slow lane.
-    pub slow_jobs: AtomicU64,
+    pub fn slow_jobs(&self) -> u64 {
+        self.slow_jobs.get()
+    }
+
     /// Jobs rejected because the target queue was full.
-    pub shed_jobs: AtomicU64,
+    pub fn shed_jobs(&self) -> u64 {
+        self.shed_jobs.get()
+    }
+}
+
+impl Default for PoolStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// A fixed-size worker pool with fast/slow lanes and bounded queues.
@@ -128,9 +163,19 @@ impl std::fmt::Display for SpawnError {
 impl std::error::Error for SpawnError {}
 
 impl ThreadPool {
-    /// Creates the pool and starts its worker threads.
+    /// Creates the pool with counters in a private registry.
     pub fn new(config: PoolConfig) -> Self {
-        let stats = Arc::new(PoolStats::default());
+        Self::with_stats(config, PoolStats::new())
+    }
+
+    /// Creates the pool with counters registered under `rpc.pool.*` in
+    /// `telemetry`.
+    pub fn with_telemetry(config: PoolConfig, telemetry: &Telemetry) -> Self {
+        Self::with_stats(config, PoolStats::with_telemetry(telemetry, "rpc.pool"))
+    }
+
+    fn with_stats(config: PoolConfig, stats: PoolStats) -> Self {
+        let stats = Arc::new(stats);
         let mut workers = Vec::new();
 
         let (fast_tx, fast_rx) = bounded::<Job>(config.queue_depth);
@@ -187,11 +232,11 @@ impl ThreadPool {
         };
         match tx.try_send(Box::new(job)) {
             Ok(()) => {
-                counter.fetch_add(1, Ordering::Relaxed);
+                counter.inc();
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
-                self.stats.shed_jobs.fetch_add(1, Ordering::Relaxed);
+                self.stats.shed_jobs.inc();
                 Err(SpawnError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => Err(SpawnError::Shutdown),
@@ -213,7 +258,7 @@ impl ThreadPool {
             _ => (&self.fast_tx, &self.stats.fast_jobs),
         };
         tx.send(Box::new(job)).map_err(|_| SpawnError::Shutdown)?;
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
         Ok(())
     }
 
@@ -253,7 +298,7 @@ impl Drop for ThreadPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn all_jobs_run_before_shutdown_returns() {
@@ -313,7 +358,7 @@ mod tests {
         pool.spawn(Lane::Fast, || {}).unwrap(); // fills the queue
         let shed = pool.spawn(Lane::Fast, || {});
         assert_eq!(shed, Err(SpawnError::QueueFull));
-        assert_eq!(pool.stats().shed_jobs.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.stats().shed_jobs(), 1);
         gate_tx.send(()).unwrap();
         pool.shutdown();
     }
@@ -328,8 +373,8 @@ mod tests {
             pool.spawn_blocking(Lane::Slow, || {}).unwrap();
         }
         // Counters update before shutdown completes.
-        assert_eq!(pool.stats().fast_jobs.load(Ordering::Relaxed), 5);
-        assert_eq!(pool.stats().slow_jobs.load(Ordering::Relaxed), 3);
+        assert_eq!(pool.stats().fast_jobs(), 5);
+        assert_eq!(pool.stats().slow_jobs(), 3);
         pool.shutdown();
     }
 

@@ -26,15 +26,20 @@ pub(crate) struct ServerCore {
     pub(crate) classifier: Arc<Classifier>,
     pub(crate) pool: ThreadPool,
     pub(crate) stats: Arc<RpcStats>,
+    pub(crate) telemetry: dcperf_telemetry::Telemetry,
 }
 
 impl ServerCore {
     fn new(handler: Arc<Handler>, classifier: Arc<Classifier>, config: PoolConfig) -> Self {
+        // One registry per server: transport counters (`rpc.*`) and pool
+        // counters (`rpc.pool.*`) land in the same snapshot.
+        let telemetry = dcperf_telemetry::Telemetry::new();
         Self {
             handler,
             classifier,
-            pool: ThreadPool::new(config),
-            stats: Arc::new(RpcStats::new()),
+            pool: ThreadPool::with_telemetry(config, &telemetry),
+            stats: Arc::new(RpcStats::with_telemetry(&telemetry, "rpc")),
+            telemetry,
         }
     }
 
@@ -124,6 +129,13 @@ impl InProcServer {
         &self.core.stats
     }
 
+    /// The server's telemetry registry (`rpc.*` transport counters and
+    /// `rpc.pool.*` lane counters). Snapshot it to observe everything the
+    /// server recorded.
+    pub fn telemetry(&self) -> &dcperf_telemetry::Telemetry {
+        &self.core.telemetry
+    }
+
     /// Shuts the pool down, draining queued requests.
     pub fn shutdown(self) {
         // Last handle to the core drops the pool, which drains and joins.
@@ -142,7 +154,9 @@ pub struct TcpServer {
 
 impl std::fmt::Debug for TcpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpServer").field("addr", &self.addr).finish()
+        f.debug_struct("TcpServer")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -260,6 +274,11 @@ impl TcpServer {
     /// Transport counters.
     pub fn stats(&self) -> &RpcStats {
         &self.core.stats
+    }
+
+    /// The server's telemetry registry (`rpc.*` and `rpc.pool.*`).
+    pub fn telemetry(&self) -> &dcperf_telemetry::Telemetry {
+        &self.core.telemetry
     }
 
     /// Stops accepting, closes the pool, and joins server threads.
@@ -400,8 +419,7 @@ mod tests {
 
     #[test]
     fn tcp_shutdown_is_idempotent_via_drop() {
-        let server =
-            TcpServer::bind("127.0.0.1:0", echo, PoolConfig::single_lane(1)).unwrap();
+        let server = TcpServer::bind("127.0.0.1:0", echo, PoolConfig::single_lane(1)).unwrap();
         drop(server); // must not hang
     }
 }

@@ -1,70 +1,86 @@
-//! Transport-level counters.
+//! Transport-level counters, recorded through the unified telemetry
+//! layer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dcperf_telemetry::{Counter, Telemetry};
+use std::sync::Arc;
 
 /// Byte and message counters shared between a transport's endpoints.
 ///
 /// All counters are monotonically increasing and safe to read while the
-/// transport is live.
-#[derive(Debug, Default)]
+/// transport is live. They live in a [`Telemetry`] registry (namespace
+/// `rpc.*` by default); this struct is a set of pre-resolved handles plus
+/// derived-rate helpers.
+#[derive(Debug)]
 pub struct RpcStats {
-    requests: AtomicU64,
-    responses: AtomicU64,
-    errors: AtomicU64,
-    shed: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
+    requests: Arc<Counter>,
+    responses: Arc<Counter>,
+    errors: Arc<Counter>,
+    shed: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    bytes_received: Arc<Counter>,
 }
 
 impl RpcStats {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters in a private registry.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_telemetry(&Telemetry::new(), "rpc")
+    }
+
+    /// Registers the counters under `<prefix>.*` in `telemetry`.
+    pub fn with_telemetry(telemetry: &Telemetry, prefix: &str) -> Self {
+        Self {
+            requests: telemetry.counter(&format!("{prefix}.requests")),
+            responses: telemetry.counter(&format!("{prefix}.responses")),
+            errors: telemetry.counter(&format!("{prefix}.errors")),
+            shed: telemetry.counter(&format!("{prefix}.shed")),
+            bytes_sent: telemetry.counter(&format!("{prefix}.bytes_sent")),
+            bytes_received: telemetry.counter(&format!("{prefix}.bytes_received")),
+        }
     }
 
     pub(crate) fn record_request(&self, bytes: usize) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.requests.inc();
+        self.bytes_sent.add(bytes as u64);
     }
 
     pub(crate) fn record_response(&self, bytes: usize, ok: bool, overloaded: bool) {
-        self.responses.fetch_add(1, Ordering::Relaxed);
-        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.responses.inc();
+        self.bytes_received.add(bytes as u64);
         if overloaded {
-            self.shed.fetch_add(1, Ordering::Relaxed);
+            self.shed.inc();
         } else if !ok {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.errors.inc();
         }
     }
 
     /// Requests sent.
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.requests.get()
     }
 
     /// Responses received.
     pub fn responses(&self) -> u64 {
-        self.responses.load(Ordering::Relaxed)
+        self.responses.get()
     }
 
     /// Application-error responses received.
     pub fn errors(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.errors.get()
     }
 
     /// Overload (shed) responses received.
     pub fn shed(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.shed.get()
     }
 
     /// Request bytes sent (payload, pre-framing).
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent.load(Ordering::Relaxed)
+        self.bytes_sent.get()
     }
 
     /// Response bytes received (payload, pre-framing).
     pub fn bytes_received(&self) -> u64 {
-        self.bytes_received.load(Ordering::Relaxed)
+        self.bytes_received.get()
     }
 
     /// Error rate among received responses (0.0 when none received).
@@ -75,6 +91,12 @@ impl RpcStats {
         } else {
             (self.errors() + self.shed()) as f64 / responses as f64
         }
+    }
+}
+
+impl Default for RpcStats {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -102,5 +124,17 @@ mod tests {
     #[test]
     fn error_rate_of_empty_stats_is_zero() {
         assert_eq!(RpcStats::new().error_rate(), 0.0);
+    }
+
+    #[test]
+    fn counters_appear_in_shared_registry() {
+        let telemetry = Telemetry::new();
+        let s = RpcStats::with_telemetry(&telemetry, "rpc");
+        s.record_request(32);
+        s.record_response(8, true, false);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("rpc.requests"), Some(1));
+        assert_eq!(snap.counter("rpc.responses"), Some(1));
+        assert_eq!(snap.counter("rpc.bytes_sent"), Some(32));
     }
 }

@@ -226,9 +226,7 @@ impl Value {
             Value::F64(_) => 9,
             Value::Str(s) => 6 + s.len(),
             Value::Bin(b) => 6 + b.len(),
-            Value::List(items) => {
-                6 + items.iter().map(Value::encoded_size_hint).sum::<usize>()
-            }
+            Value::List(items) => 6 + items.iter().map(Value::encoded_size_hint).sum::<usize>(),
             Value::Map(map) => {
                 6 + map
                     .iter()

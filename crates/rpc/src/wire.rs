@@ -218,7 +218,17 @@ mod tests {
 
     #[test]
     fn uvarint_round_trips() {
-        let cases = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         for v in cases {
             let mut buf = Vec::new();
             write_uvarint(&mut buf, v);

@@ -33,7 +33,19 @@ pub enum CompressError {
     },
     /// A varint in the stream was malformed.
     BadVarint,
+    /// The declared output size exceeds the decoder's sanity limit.
+    TooLarge {
+        /// Declared size.
+        expected: usize,
+        /// The decoder's limit.
+        limit: usize,
+    },
 }
+
+/// Sanity cap on declared decompressed size. A corrupt or adversarial
+/// header must produce an error, not an allocation abort or an
+/// effectively unbounded decode loop.
+pub const MAX_DECODED_LEN: usize = 1 << 28; // 256 MiB
 
 impl std::fmt::Display for CompressError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -46,6 +58,9 @@ impl std::fmt::Display for CompressError {
                 write!(f, "declared size {expected} but produced {actual}")
             }
             CompressError::BadVarint => write!(f, "malformed varint"),
+            CompressError::TooLarge { expected, limit } => {
+                write!(f, "declared size {expected} exceeds decode limit {limit}")
+            }
         }
     }
 }
@@ -177,6 +192,12 @@ pub fn lz_compress(input: &[u8]) -> Vec<u8> {
 pub fn lz_decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
     let mut pos = 0usize;
     let expected = read_varint(input, &mut pos)? as usize;
+    if expected > MAX_DECODED_LEN {
+        return Err(CompressError::TooLarge {
+            expected,
+            limit: MAX_DECODED_LEN,
+        });
+    }
     // Cap pre-allocation: a corrupt header must not allocate unbounded.
     let mut out = Vec::with_capacity(expected.min(16 << 20));
     loop {
@@ -192,6 +213,14 @@ pub fn lz_decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
             break;
         }
         let match_len = code + MIN_MATCH - 1;
+        // A match that overshoots the declared size is corrupt; checking
+        // here (not after the loop) bounds both memory and time.
+        if match_len > expected.saturating_sub(out.len()) {
+            return Err(CompressError::LengthMismatch {
+                expected,
+                actual: out.len().saturating_add(match_len),
+            });
+        }
         let offset = read_varint(input, &mut pos)? as usize;
         if offset == 0 || offset > out.len() {
             return Err(CompressError::BadOffset {
@@ -259,12 +288,26 @@ pub fn rle_compress(input: &[u8]) -> Vec<u8> {
 pub fn rle_decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
     let mut pos = 0usize;
     let expected = read_varint(input, &mut pos)? as usize;
+    if expected > MAX_DECODED_LEN {
+        return Err(CompressError::TooLarge {
+            expected,
+            limit: MAX_DECODED_LEN,
+        });
+    }
     let mut out = Vec::with_capacity(expected.min(16 << 20));
     while out.len() < expected {
         let token = read_varint(input, &mut pos)?;
         let len = (token >> 1) as usize;
         if len == 0 {
             return Err(CompressError::Truncated);
+        }
+        // A block that overshoots the declared size is corrupt; checking
+        // here (not after the loop) bounds the run-expansion allocation.
+        if len > expected - out.len() {
+            return Err(CompressError::LengthMismatch {
+                expected,
+                actual: out.len().saturating_add(len),
+            });
         }
         if token & 1 == 1 {
             let b = *input.get(pos).ok_or(CompressError::Truncated)?;
@@ -427,7 +470,11 @@ mod tests {
     fn rle_compresses_runs() {
         let data = vec![7u8; 100_000];
         let packed = rle_compress(&data);
-        assert!(packed.len() < 32, "all-run input should be tiny: {}", packed.len());
+        assert!(
+            packed.len() < 32,
+            "all-run input should be tiny: {}",
+            packed.len()
+        );
     }
 
     #[test]
@@ -451,8 +498,18 @@ mod tests {
         }
         let lz = lz_compress(&data);
         let rle = rle_compress(&data);
-        assert!(lz.len() < data.len() / 2, "lz: {} / {}", lz.len(), data.len());
-        assert!(rle.len() < data.len() / 2, "rle: {} / {}", rle.len(), data.len());
+        assert!(
+            lz.len() < data.len() / 2,
+            "lz: {} / {}",
+            lz.len(),
+            data.len()
+        );
+        assert!(
+            rle.len() < data.len() / 2,
+            "rle: {} / {}",
+            rle.len(),
+            data.len()
+        );
         assert_eq!(lz_decompress(&lz).unwrap(), data);
         assert_eq!(rle_decompress(&rle).unwrap(), data);
     }

@@ -85,7 +85,11 @@ pub fn queue_throughput(producers: usize, messages: u64) -> u64 {
     for p in 0..producers {
         let tx = tx.clone();
         let share = messages / producers as u64
-            + if (p as u64) < messages % producers as u64 { 1 } else { 0 };
+            + if (p as u64) < messages % producers as u64 {
+                1
+            } else {
+                0
+            };
         handles.push(std::thread::spawn(move || {
             for i in 0..share {
                 tx.send(i).expect("consumer hung up early");

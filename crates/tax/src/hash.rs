@@ -40,8 +40,14 @@ pub fn dcx64(bytes: &[u8], seed: u64) -> u64 {
     let mut chunks = bytes.chunks_exact(8);
     for chunk in &mut chunks {
         let lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-        h ^= lane.wrapping_mul(DCX_PRIME_1).rotate_left(31).wrapping_mul(DCX_PRIME_2);
-        h = h.rotate_left(27).wrapping_mul(DCX_PRIME_1).wrapping_add(DCX_PRIME_3);
+        h ^= lane
+            .wrapping_mul(DCX_PRIME_1)
+            .rotate_left(31)
+            .wrapping_mul(DCX_PRIME_2);
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(DCX_PRIME_1)
+            .wrapping_add(DCX_PRIME_3);
     }
     for &b in chunks.remainder() {
         h ^= (b as u64).wrapping_mul(DCX_PRIME_3);
@@ -64,7 +70,11 @@ fn crc32_table() -> &'static [u32; 256] {
         for (i, slot) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *slot = c;
         }
@@ -107,7 +117,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF43926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414FA339
+        );
     }
 
     #[test]
@@ -128,7 +141,10 @@ mod tests {
         let a = dcx64(b"helloworld000000", 0);
         let b = dcx64(b"helloworld000001", 0);
         let differing = (a ^ b).count_ones();
-        assert!(differing > 16, "poor avalanche: only {differing} bits flipped");
+        assert!(
+            differing > 16,
+            "poor avalanche: only {differing} bits flipped"
+        );
     }
 
     #[test]

@@ -85,7 +85,9 @@ pub struct Registry {
 impl Registry {
     /// Builds the registry with every built-in kernel.
     pub fn with_builtin() -> Self {
-        let mut r = Self { benches: Vec::new() };
+        let mut r = Self {
+            benches: Vec::new(),
+        };
         r.register_builtin();
         r
     }
@@ -147,17 +149,21 @@ impl Registry {
             bytes
         });
 
-        self.add("compress/lz_decompress", TaxCategory::Compression, |iters| {
-            let data = corpus(16 << 10, 2);
-            let packed = compress::lz_compress(&data);
-            let mut bytes = 0u64;
-            for _ in 0..iters {
-                let out = compress::lz_decompress(&packed).expect("own stream decodes");
-                bytes += out.len() as u64;
-                std::hint::black_box(&out);
-            }
-            bytes
-        });
+        self.add(
+            "compress/lz_decompress",
+            TaxCategory::Compression,
+            |iters| {
+                let data = corpus(16 << 10, 2);
+                let packed = compress::lz_compress(&data);
+                let mut bytes = 0u64;
+                for _ in 0..iters {
+                    let out = compress::lz_decompress(&packed).expect("own stream decodes");
+                    bytes += out.len() as u64;
+                    std::hint::black_box(&out);
+                }
+                bytes
+            },
+        );
 
         self.add("compress/rle", TaxCategory::Compression, |iters| {
             let data = corpus(16 << 10, 3);
@@ -308,9 +314,11 @@ impl Registry {
             iters * steps as u64
         });
 
-        self.add("thread/atomic_counter", TaxCategory::ThreadManager, |iters| {
-            concurrency::contended_atomic_counter(4, iters * 256)
-        });
+        self.add(
+            "thread/atomic_counter",
+            TaxCategory::ThreadManager,
+            |iters| concurrency::contended_atomic_counter(4, iters * 256),
+        );
 
         self.add("thread/queue", TaxCategory::ThreadManager, |iters| {
             concurrency::queue_throughput(2, iters * 256)
@@ -335,10 +343,7 @@ mod tests {
             TaxCategory::Memory,
             TaxCategory::ThreadManager,
         ] {
-            assert!(
-                r.iter().any(|b| b.category() == cat),
-                "no kernel for {cat}"
-            );
+            assert!(r.iter().any(|b| b.category() == cat), "no kernel for {cat}");
         }
     }
 

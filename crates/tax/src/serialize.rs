@@ -150,9 +150,7 @@ pub fn decode_batch(buf: &[u8]) -> Result<(Vec<Record>, usize), SerializeError> 
             let field = match tag {
                 TAG_I64 => FieldValue::I64(unzigzag(get_varint(buf, &mut pos)?)),
                 TAG_F64 => {
-                    let bytes = buf
-                        .get(pos..pos + 8)
-                        .ok_or(SerializeError::Truncated)?;
+                    let bytes = buf.get(pos..pos + 8).ok_or(SerializeError::Truncated)?;
                     pos += 8;
                     FieldValue::F64(f64::from_le_bytes(bytes.try_into().expect("8")))
                 }

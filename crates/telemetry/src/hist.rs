@@ -1,0 +1,262 @@
+//! Striped concurrent histogram with wait-free recording.
+//!
+//! Load generators record one latency sample per completed request from
+//! many worker threads at once. A mutex-guarded histogram would serialize
+//! exactly the operation the benchmark is trying to measure, so
+//! [`ConcurrentHistogram`] stripes the bucket array per thread slot: each
+//! recording thread owns (modulo striping) a cache-line-aligned stripe of
+//! atomic bucket counters, and `record` is a handful of relaxed atomic
+//! RMWs with no locks, no CAS loops, and no allocation.
+//!
+//! The bucket layout is *identical* to [`dcperf_util::Histogram`] — the
+//! merged [`snapshot`](ConcurrentHistogram::snapshot) reconstructs a plain
+//! `Histogram` that is bit-for-bit equal to single-threaded recording of
+//! the same samples (exact count, min, max, and sum; same buckets, hence
+//! same percentiles).
+
+use dcperf_util::{Histogram, NUM_BUCKETS};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Process-wide thread slot assignment: each thread that ever records gets
+/// a stable small integer, mapped onto stripes modulo the stripe count.
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|slot| *slot)
+}
+
+/// One thread stripe. Aligned to a cache line so concurrent writers on
+/// different stripes do not false-share the min/max/sum words.
+#[repr(align(64))]
+struct Stripe {
+    counts: Vec<AtomicU64>,
+    min: AtomicU64,
+    max: AtomicU64,
+    /// Exact sample sum as a 128-bit value split across two atomics:
+    /// `sum_lo` carries into `sum_hi` on wrap-around (detected by the
+    /// returned previous value of `fetch_add`).
+    sum_lo: AtomicU64,
+    sum_hi: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Self {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            sum_lo: AtomicU64::new(0),
+            sum_hi: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed histogram that many threads can record into without
+/// locking.
+///
+/// # Examples
+///
+/// ```
+/// use dcperf_telemetry::ConcurrentHistogram;
+/// use std::sync::Arc;
+///
+/// let hist = Arc::new(ConcurrentHistogram::new());
+/// let handles: Vec<_> = (0..4)
+///     .map(|t| {
+///         let hist = Arc::clone(&hist);
+///         std::thread::spawn(move || {
+///             for v in 1..=1000u64 {
+///                 hist.record(v * (t + 1));
+///             }
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// let merged = hist.snapshot();
+/// assert_eq!(merged.count(), 4000);
+/// assert_eq!(merged.min(), 1);
+/// ```
+pub struct ConcurrentHistogram {
+    stripes: Vec<Stripe>,
+}
+
+impl ConcurrentHistogram {
+    /// Creates a histogram with one stripe per available core (capped at
+    /// 64 to bound snapshot cost on very wide machines).
+    pub fn new() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8);
+        Self::with_stripes(cores.min(64))
+    }
+
+    /// Creates a histogram with an explicit stripe count (min 1).
+    pub fn with_stripes(stripes: usize) -> Self {
+        Self {
+            stripes: (0..stripes.max(1)).map(|_| Stripe::new()).collect(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Records one sample. Wait-free: five relaxed atomic RMWs on the
+    /// calling thread's stripe.
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let stripe = &self.stripes[thread_slot() % self.stripes.len()];
+        stripe.counts[Histogram::bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        stripe.min.fetch_min(value, Ordering::Relaxed);
+        stripe.max.fetch_max(value, Ordering::Relaxed);
+        let add = (value as u128 * n as u128) as u64; // low 64 bits
+        let high = ((value as u128 * n as u128) >> 64) as u64;
+        let prev = stripe.sum_lo.fetch_add(add, Ordering::Relaxed);
+        let carry = u64::from(prev.checked_add(add).is_none());
+        if high > 0 || carry > 0 {
+            stripe.sum_hi.fetch_add(high + carry, Ordering::Relaxed);
+        }
+    }
+
+    /// Total recorded samples across all stripes.
+    pub fn count(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.counts
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Merges all stripes into a plain [`Histogram`].
+    ///
+    /// Exact — equal to a single-threaded `Histogram` fed the same
+    /// samples — provided recording has quiesced (e.g. workers joined).
+    /// A snapshot taken mid-flight is a consistent-enough approximation
+    /// but may miss in-progress records.
+    pub fn snapshot(&self) -> Histogram {
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut sum = 0u128;
+        for stripe in &self.stripes {
+            for (total, bucket) in counts.iter_mut().zip(stripe.counts.iter()) {
+                *total += bucket.load(Ordering::Relaxed);
+            }
+            min = min.min(stripe.min.load(Ordering::Relaxed));
+            max = max.max(stripe.max.load(Ordering::Relaxed));
+            let lo = stripe.sum_lo.load(Ordering::Relaxed);
+            let hi = stripe.sum_hi.load(Ordering::Relaxed);
+            sum += ((hi as u128) << 64) | lo as u128;
+        }
+        Histogram::from_parts(counts, min, max, sum)
+    }
+
+    /// Clears all stripes (between benchmark phases; not linearizable
+    /// with concurrent `record`s).
+    pub fn reset(&self) {
+        for stripe in &self.stripes {
+            for bucket in &stripe.counts {
+                bucket.store(0, Ordering::Relaxed);
+            }
+            stripe.min.store(u64::MAX, Ordering::Relaxed);
+            stripe.max.store(0, Ordering::Relaxed);
+            stripe.sum_lo.store(0, Ordering::Relaxed);
+            stripe.sum_hi.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for ConcurrentHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ConcurrentHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ConcurrentHistogram {{ stripes: {}, count: {} }}",
+            self.stripes.len(),
+            self.count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_empty_histogram() {
+        let hist = ConcurrentHistogram::with_stripes(4);
+        assert_eq!(hist.snapshot(), Histogram::new());
+        assert_eq!(hist.count(), 0);
+    }
+
+    #[test]
+    fn single_thread_matches_oracle() {
+        let concurrent = ConcurrentHistogram::with_stripes(3);
+        let mut oracle = Histogram::new();
+        let mut x = 9u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = x >> 20;
+            concurrent.record(v);
+            oracle.record(v);
+        }
+        assert_eq!(concurrent.snapshot(), oracle);
+    }
+
+    #[test]
+    fn record_n_matches_oracle() {
+        let concurrent = ConcurrentHistogram::with_stripes(2);
+        let mut oracle = Histogram::new();
+        concurrent.record_n(1_000, 57);
+        oracle.record_n(1_000, 57);
+        concurrent.record_n(u64::MAX, 3);
+        oracle.record_n(u64::MAX, 3);
+        assert_eq!(concurrent.snapshot(), oracle);
+    }
+
+    #[test]
+    fn sum_survives_u64_overflow() {
+        let concurrent = ConcurrentHistogram::with_stripes(1);
+        let mut oracle = Histogram::new();
+        // Three near-max samples overflow a u64 accumulator twice.
+        for _ in 0..3 {
+            concurrent.record(u64::MAX - 1);
+            oracle.record(u64::MAX - 1);
+        }
+        let snap = concurrent.snapshot();
+        assert_eq!(snap, oracle);
+        assert!((snap.mean() - (u64::MAX - 1) as f64).abs() < 1e4);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let hist = ConcurrentHistogram::with_stripes(2);
+        hist.record(5);
+        hist.record(1 << 40);
+        hist.reset();
+        assert_eq!(hist.snapshot(), Histogram::new());
+    }
+}

@@ -1,0 +1,263 @@
+//! Unified concurrent telemetry for DCPerf-RS.
+//!
+//! Every subsystem in the suite — the kvstore cache, the RPC substrate,
+//! the load generators — used to keep its own ad-hoc mutable stats
+//! struct. This crate replaces those with one substrate:
+//!
+//! * [`Counter`] / [`Gauge`] — single-atomic event counts and levels;
+//! * [`ConcurrentHistogram`] — a striped, wait-free latency recorder
+//!   whose merged snapshot is bit-identical to a single-threaded
+//!   [`dcperf_util::Histogram`] of the same samples;
+//! * [`Telemetry`] — a cheaply cloneable named registry of the above,
+//!   plus phase-scoped timing spans ([`Phase`], [`PhaseSpan`]);
+//! * [`TelemetrySnapshot`] — the serializable freeze embedded in every
+//!   `BenchmarkReport`.
+//!
+//! Hot paths touch only atomics they already hold an `Arc` to; the
+//! registry's interior mutex is taken on the cold paths (registration and
+//! snapshot) only.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcperf_telemetry::{Phase, Telemetry};
+//!
+//! let telemetry = Telemetry::new();
+//! let requests = telemetry.counter("rpc.requests");
+//! let latency = telemetry.histogram("rpc.latency_ns");
+//!
+//! {
+//!     let _span = telemetry.phase_span("echo", Phase::Measure);
+//!     for i in 1..=100u64 {
+//!         requests.inc();
+//!         latency.record(i * 1_000);
+//!     }
+//! }
+//!
+//! let snap = telemetry.snapshot();
+//! assert_eq!(snap.counter("rpc.requests"), Some(100));
+//! assert_eq!(snap.histogram("rpc.latency_ns").unwrap().count, 100);
+//! assert_eq!(snap.phase("echo", Phase::Measure).unwrap().calls, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod hist;
+mod phase;
+mod snapshot;
+
+pub use counter::{Counter, Gauge};
+pub use hist::ConcurrentHistogram;
+pub use phase::{Phase, PhaseSummary};
+pub use snapshot::{HistogramSummary, TelemetrySnapshot};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<ConcurrentHistogram>>,
+    phases: BTreeMap<String, PhaseSummary>,
+}
+
+/// A named registry of counters, gauges, histograms, and phase timings.
+///
+/// Cloning is cheap (`Arc` internally); clones share the same metrics.
+/// Handles returned by [`counter`](Telemetry::counter) /
+/// [`gauge`](Telemetry::gauge) / [`histogram`](Telemetry::histogram) are
+/// `Arc`s — hold them on hot paths instead of re-looking-up by name.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    registry: Arc<Mutex<Registry>>,
+}
+
+impl Telemetry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter with this name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            reg.counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Gets or creates the gauge with this name.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            reg.gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Gets or creates the concurrent histogram with this name.
+    pub fn histogram(&self, name: &str) -> Arc<ConcurrentHistogram> {
+        let mut reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            reg.histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(ConcurrentHistogram::new())),
+        )
+    }
+
+    /// Starts timing a lifecycle phase of the named benchmark. The
+    /// returned guard records elapsed wall time under
+    /// `"<benchmark>/<phase>"` when dropped.
+    #[must_use = "the span records on drop; binding it to _ ends it immediately"]
+    pub fn phase_span(&self, benchmark: &str, phase: Phase) -> PhaseSpan {
+        PhaseSpan {
+            telemetry: self.clone(),
+            key: format!("{benchmark}/{phase}"),
+            start: Instant::now(),
+        }
+    }
+
+    /// Freezes every registered metric into plain serializable data.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        TelemetrySnapshot {
+            counters: reg
+                .counters
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: reg
+                .gauges
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        HistogramSummary::from_histogram(&h.snapshot()),
+                    )
+                })
+                .collect(),
+            phases: reg.phases.clone(),
+        }
+    }
+
+    /// Resets every counter, gauge, histogram, and phase timing while
+    /// keeping registered names and outstanding handles valid.
+    pub fn reset(&self) {
+        let mut reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        for counter in reg.counters.values() {
+            counter.reset();
+        }
+        for gauge in reg.gauges.values() {
+            gauge.set(0);
+        }
+        for hist in reg.histograms.values() {
+            hist.reset();
+        }
+        reg.phases.clear();
+    }
+
+    fn record_phase(&self, key: &str, elapsed_ns: u64) {
+        let mut reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = reg.phases.entry(key.to_string()).or_default();
+        entry.calls += 1;
+        entry.total_ns += elapsed_ns;
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        write!(
+            f,
+            "Telemetry {{ counters: {}, gauges: {}, histograms: {}, phases: {} }}",
+            reg.counters.len(),
+            reg.gauges.len(),
+            reg.histograms.len(),
+            reg.phases.len()
+        )
+    }
+}
+
+/// RAII guard from [`Telemetry::phase_span`]; records on drop.
+#[derive(Debug)]
+pub struct PhaseSpan {
+    telemetry: Telemetry,
+    key: String,
+    start: Instant,
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        let elapsed_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.telemetry.record_phase(&self.key, elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let telemetry = Telemetry::new();
+        telemetry.counter("hits").add(3);
+        telemetry.counter("hits").add(4);
+        assert_eq!(telemetry.snapshot().counter("hits"), Some(7));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let telemetry = Telemetry::new();
+        let clone = telemetry.clone();
+        clone.counter("shared").inc();
+        assert_eq!(telemetry.snapshot().counter("shared"), Some(1));
+    }
+
+    #[test]
+    fn phase_span_records_on_drop() {
+        let telemetry = Telemetry::new();
+        {
+            let _span = telemetry.phase_span("bench", Phase::Setup);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let summary = telemetry.snapshot().phase("bench", Phase::Setup).unwrap();
+        assert_eq!(summary.calls, 1);
+        assert!(summary.total_ns >= 1_000_000, "got {}", summary.total_ns);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let telemetry = Telemetry::new();
+        let counter = telemetry.counter("n");
+        let hist = telemetry.histogram("h");
+        counter.add(5);
+        hist.record(10);
+        telemetry.reset();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("n"), Some(0));
+        assert_eq!(snap.histogram("h").unwrap().count, 0);
+        // Old handles still feed the registry after reset.
+        counter.inc();
+        assert_eq!(telemetry.snapshot().counter("n"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_includes_gauges() {
+        let telemetry = Telemetry::new();
+        telemetry.gauge("depth").set(12);
+        telemetry.gauge("depth").sub(2);
+        assert_eq!(telemetry.snapshot().gauges.get("depth"), Some(&10));
+    }
+}

@@ -1,0 +1,143 @@
+//! Serializable point-in-time views of a telemetry registry.
+//!
+//! Live metrics are atomics and striped histograms — cheap to write,
+//! awkward to ship. A [`TelemetrySnapshot`] freezes everything into plain
+//! sorted maps of numbers so reports can embed, serialize, diff, and
+//! assert on them.
+
+use crate::phase::PhaseSummary;
+use dcperf_util::Histogram;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Fixed percentile digest of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile (the paper's newsfeed SLO percentile).
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl HistogramSummary {
+    /// Digests a merged histogram.
+    pub fn from_histogram(hist: &Histogram) -> Self {
+        Self {
+            count: hist.count(),
+            min: hist.min(),
+            max: hist.max(),
+            mean: hist.mean(),
+            p50: hist.value_at_percentile(50.0),
+            p95: hist.value_at_percentile(95.0),
+            p99: hist.value_at_percentile(99.0),
+            p999: hist.value_at_percentile(99.9),
+        }
+    }
+}
+
+/// Everything a registry knew at one instant, as plain data.
+///
+/// Keys are sorted (`BTreeMap`) so serialized snapshots are byte-stable
+/// across runs, which keeps report diffs readable.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram digests by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Phase timings by `"<benchmark>/<phase>"` key.
+    pub phases: BTreeMap<String, PhaseSummary>,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience counter lookup.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Convenience histogram-digest lookup.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// Convenience phase-timing lookup.
+    pub fn phase(&self, benchmark: &str, phase: crate::Phase) -> Option<PhaseSummary> {
+        self.phases.get(&format!("{benchmark}/{phase}")).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_digests_histogram() {
+        let mut hist = Histogram::new();
+        for v in 1..=1000u64 {
+            hist.record(v);
+        }
+        let digest = HistogramSummary::from_histogram(&hist);
+        assert_eq!(digest.count, 1000);
+        assert_eq!(digest.min, 1);
+        assert_eq!(digest.max, 1000);
+        assert!(digest.p50 <= digest.p95 && digest.p95 <= digest.p99);
+        assert!(digest.p99 <= digest.p999);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut snap = TelemetrySnapshot::new();
+        snap.counters.insert("requests".into(), 123);
+        snap.gauges.insert("in_flight".into(), -4);
+        snap.histograms.insert(
+            "latency_ns".into(),
+            HistogramSummary {
+                count: 10,
+                min: 1,
+                max: 99,
+                mean: 12.5,
+                p50: 10,
+                p95: 90,
+                p99: 99,
+                p999: 99,
+            },
+        );
+        snap.phases.insert(
+            "kvstore/measure".into(),
+            PhaseSummary {
+                calls: 1,
+                total_ns: 5_000,
+            },
+        );
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn lookups_return_none_for_missing_keys() {
+        let snap = TelemetrySnapshot::new();
+        assert_eq!(snap.counter("nope"), None);
+        assert!(snap.histogram("nope").is_none());
+        assert!(snap.phase("nope", crate::Phase::Setup).is_none());
+    }
+}

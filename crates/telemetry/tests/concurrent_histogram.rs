@@ -1,0 +1,91 @@
+//! N-thread stress test for [`ConcurrentHistogram`]: after every writer
+//! has joined, the merged snapshot must be *identical* to a
+//! single-threaded oracle [`Histogram`] fed the same samples — same
+//! count, bounds, sum-derived mean, and every percentile.
+
+use dcperf_telemetry::ConcurrentHistogram;
+use dcperf_util::Histogram;
+use std::sync::Arc;
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 50_000;
+
+/// Deterministic per-thread sample stream (LCG over a splitmix-seeded
+/// state) so the oracle can replay exactly what the writers recorded.
+fn samples(thread: u64) -> impl Iterator<Item = u64> {
+    let mut x = thread
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x1234_5678_9ABC_DEF0);
+    (0..PER_THREAD).map(move |_| {
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        // Spread across many orders of magnitude to hit every bucket range.
+        x >> (x % 48)
+    })
+}
+
+#[test]
+fn merged_snapshot_equals_single_threaded_oracle() {
+    let concurrent = Arc::new(ConcurrentHistogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&concurrent);
+            std::thread::spawn(move || {
+                for v in samples(t) {
+                    hist.record(v);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread panicked");
+    }
+
+    let mut oracle = Histogram::new();
+    for t in 0..THREADS {
+        for v in samples(t) {
+            oracle.record(v);
+        }
+    }
+
+    let snap = concurrent.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD);
+    assert_eq!(snap.count(), oracle.count());
+    assert_eq!(snap.min(), oracle.min());
+    assert_eq!(snap.max(), oracle.max());
+    assert_eq!(snap.mean(), oracle.mean(), "exact sums must match");
+    for pct in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+        assert_eq!(
+            snap.value_at_percentile(pct),
+            oracle.value_at_percentile(pct),
+            "percentile {pct} diverged"
+        );
+    }
+    // The snapshot is a real Histogram: full structural equality holds.
+    assert_eq!(snap, oracle);
+}
+
+#[test]
+fn concurrent_count_is_exact_under_contention() {
+    // Few stripes + many threads forces stripe sharing; totals must
+    // still be exact.
+    let hist = Arc::new(ConcurrentHistogram::with_stripes(2));
+    let handles: Vec<_> = (0..16)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    hist.record(t * 10_000 + i + 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread panicked");
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), 160_000);
+    assert_eq!(snap.min(), 1);
+    assert_eq!(snap.max(), 160_000);
+}

@@ -71,8 +71,7 @@ impl Zipf {
         if !(s.is_finite() && s > 0.0) {
             return Err(InvalidDistributionError::new("zipf requires finite s > 0"));
         }
-        let accept_band =
-            2.0 - h_integral_inverse(h_integral(2.5, s) - h_point(2.0, s), s);
+        let accept_band = 2.0 - h_integral_inverse(h_integral(2.5, s) - h_point(2.0, s), s);
         let h_x1 = h_integral(1.5, s) - 1.0;
         let h_n = h_integral(n as f64 + 0.5, s);
         Ok(Self {
@@ -100,9 +99,7 @@ impl Zipf {
             let u = self.h_n + rng.next_f64() * (self.h_x1 - self.h_n);
             let x = h_integral_inverse(u, self.s);
             let k = x.round().clamp(1.0, self.n as f64);
-            if k - x <= self.accept_band
-                || u >= h_integral(k + 0.5, self.s) - h_point(k, self.s)
-            {
+            if k - x <= self.accept_band || u >= h_integral(k + 0.5, self.s) - h_point(k, self.s) {
                 return k as u64 - 1;
             }
         }
@@ -500,7 +497,7 @@ mod tests {
     fn zipf_rank0_is_most_popular() {
         let zipf = Zipf::new(10_000, 0.99).unwrap();
         let mut r = rng();
-        let mut counts = vec![0u64; 16];
+        let mut counts = [0u64; 16];
         for _ in 0..200_000 {
             let k = zipf.sample(&mut r);
             if (k as usize) < counts.len() {

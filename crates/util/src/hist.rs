@@ -7,8 +7,6 @@
 //! split into 32 linear sub-buckets, giving a worst-case relative error of
 //! about 3% — ample for percentile reporting.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of linear sub-buckets per power-of-two range. Must be a power of
 /// two.
 const SUB_BUCKETS: usize = 32;
@@ -18,8 +16,11 @@ const RANGES: usize = 64;
 
 /// A log-bucketed histogram of `u64` samples (typically nanoseconds).
 ///
-/// Records in O(1), answers percentile queries in O(buckets), merges with
-/// other histograms, and serializes to JSON as part of benchmark reports.
+/// Records in O(1), answers percentile queries in O(buckets), and merges
+/// with other histograms. Concurrent recorders (see `dcperf-telemetry`)
+/// share this bucket layout via [`Histogram::bucket_index`] and
+/// [`Histogram::from_parts`], so their snapshots are bit-identical to a
+/// single-threaded recording of the same samples.
 ///
 /// # Examples
 ///
@@ -34,7 +35,7 @@ const RANGES: usize = 64;
 /// let p50 = h.value_at_percentile(50.0);
 /// assert!((450..=560).contains(&p50), "p50={p50}");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -43,11 +44,15 @@ pub struct Histogram {
     sum: u128,
 }
 
+/// Total number of buckets in the fixed layout shared by [`Histogram`]
+/// and concurrent recorders built on the same binning.
+pub const NUM_BUCKETS: usize = RANGES * SUB_BUCKETS;
+
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Self {
-            counts: vec![0; RANGES * SUB_BUCKETS],
+            counts: vec![0; NUM_BUCKETS],
             total: 0,
             min: u64::MAX,
             max: 0,
@@ -55,8 +60,35 @@ impl Histogram {
         }
     }
 
-    /// Maps a value to its bucket index.
-    fn bucket_index(value: u64) -> usize {
+    /// Reassembles a histogram from bucket counts produced with this
+    /// layout's [`Histogram::bucket_index`], plus exact min/max/sum
+    /// tracked alongside them. The total count is derived from `counts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` does not have [`NUM_BUCKETS`] entries.
+    pub fn from_parts(counts: Vec<u64>, min: u64, max: u64, sum: u128) -> Self {
+        assert_eq!(
+            counts.len(),
+            NUM_BUCKETS,
+            "bucket count mismatch: expected {NUM_BUCKETS}, got {}",
+            counts.len()
+        );
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Self::new();
+        }
+        Self {
+            counts,
+            total,
+            min,
+            max,
+            sum,
+        }
+    }
+
+    /// Maps a value to its bucket index in `0..NUM_BUCKETS`.
+    pub fn bucket_index(value: u64) -> usize {
         if value < SUB_BUCKETS as u64 {
             return value as usize;
         }

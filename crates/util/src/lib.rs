@@ -34,6 +34,6 @@ pub mod rng;
 pub mod stats;
 
 pub use dist::{Bernoulli, Empirical, Exponential, LogNormal, Pareto, Poisson, Uniform, Zipf};
-pub use hist::Histogram;
+pub use hist::{Histogram, NUM_BUCKETS};
 pub use rng::{Rng, SplitMix64, Xoshiro256pp};
 pub use stats::{geometric_mean, percentile_of_sorted, weighted_geometric_mean, RunningStats};

@@ -162,7 +162,7 @@ pub fn weighted_geometric_mean(values: &[f64], weights: &[f64]) -> Option<f64> {
     let mut log_sum = 0.0;
     let mut w_sum = 0.0;
     for (&v, &w) in values.iter().zip(weights) {
-        if !(v.is_finite() && v > 0.0) || !(w.is_finite() && w >= 0.0) {
+        if !(v.is_finite() && v > 0.0 && w.is_finite() && w >= 0.0) {
             return None;
         }
         log_sum += w * v.ln();

@@ -58,6 +58,50 @@ proptest! {
     }
 
     #[test]
+    fn histogram_percentiles_monotone_in_pct(
+        values in proptest::collection::vec(1u64..1_000_000_000, 1..300),
+        cuts in proptest::collection::vec(0.0f64..100.0, 2..8),
+    ) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut cuts = cuts.clone();
+        cuts.sort_by(|x, y| x.partial_cmp(y).expect("cuts are finite"));
+        // Percentiles are monotone non-decreasing in the percentile, and
+        // pinned inside [min, max] at the extremes.
+        let mut prev = hist.value_at_percentile(0.0);
+        prop_assert!(prev >= hist.min(), "p0 {} < min {}", prev, hist.min());
+        for &pct in &cuts {
+            let cur = hist.value_at_percentile(pct);
+            prop_assert!(cur >= prev, "p{} = {} < earlier {}", pct, cur, prev);
+            prev = cur;
+        }
+        let p100 = hist.value_at_percentile(100.0);
+        prop_assert!(p100 >= prev);
+        prop_assert!(p100 <= hist.max(), "p100 {} > max {}", p100, hist.max());
+    }
+
+    #[test]
+    fn histogram_merge_commutes_in_count_min_max(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+    }
+
+    #[test]
     fn zipf_samples_stay_in_range(
         n in 1u64..1_000_000,
         s in 0.1f64..2.5,

@@ -17,7 +17,7 @@
 
 use dcperf_kvstore::{BackingStore, BackingStoreConfig, Cache, CacheConfig};
 use dcperf_rpc::{InProcClient, InProcServer, Lane, PoolConfig, Request, Response};
-use dcperf_util::{Histogram, Rng, SplitMix64, Xoshiro256pp, Zipf};
+use dcperf_util::{Rng, SplitMix64, Xoshiro256pp, Zipf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -91,8 +91,7 @@ fn drive_cache_arch(
             scope.spawn(move || {
                 let mut rng = Xoshiro256pp::seed_from_u64(seed ^ (t as u64) << 32);
                 while started.elapsed() < duration {
-                    let key =
-                        (SplitMix64::mix(zipf.sample(&mut rng)) % key_space).to_le_bytes();
+                    let key = (SplitMix64::mix(zipf.sample(&mut rng)) % key_space).to_le_bytes();
                     if read_through {
                         let _ = client.call("get_rt", key.to_vec());
                         rpc_calls.fetch_add(1, Ordering::Relaxed);
@@ -178,7 +177,7 @@ pub fn compare_pool_architectures(
     threads: usize,
     seed: u64,
 ) -> Vec<PoolArchResult> {
-    use parking_lot::Mutex;
+    use dcperf_telemetry::ConcurrentHistogram;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     let mut out = Vec::new();
@@ -190,11 +189,10 @@ pub fn compare_pool_architectures(
         let server = InProcServer::start_with_classifier(
             move |req: &Request| {
                 if req.method == "miss" {
-                    // The slow path: simulated DB lookup.
-                    let until = Instant::now() + db_latency;
-                    while Instant::now() < until {
-                        std::hint::spin_loop();
-                    }
+                    // The slow path: a simulated DB lookup. Sleeping (not
+                    // spinning) models the I/O wait and keeps the CPU free
+                    // for the fast lane, as in production.
+                    std::thread::sleep(db_latency);
                 }
                 Response::ok(vec![0u8; 64])
             },
@@ -208,8 +206,10 @@ pub fn compare_pool_architectures(
             pool.with_queue_depth(8192),
         );
         let client = server.client();
-        let hit_hist = Mutex::new(Histogram::new());
-        let miss_hist = Mutex::new(Histogram::new());
+        // Wait-free striped recording; snapshots are exact once the
+        // driver threads have joined.
+        let hit_hist = ConcurrentHistogram::new();
+        let miss_hist = ConcurrentHistogram::new();
         let total = AtomicU64::new(0);
         let started = Instant::now();
         std::thread::scope(|scope| {
@@ -220,8 +220,6 @@ pub fn compare_pool_architectures(
                 let total = &total;
                 scope.spawn(move || {
                     let mut rng = Xoshiro256pp::seed_from_u64(seed ^ (t as u64) << 32);
-                    let mut local_hit = Histogram::new();
-                    let mut local_miss = Histogram::new();
                     while started.elapsed() < duration {
                         let is_miss = rng.gen_bool(miss_fraction);
                         let method = if is_miss { "miss" } else { "hit" };
@@ -229,22 +227,20 @@ pub fn compare_pool_architectures(
                         if client.call(method, vec![1u8; 16]).is_ok() {
                             let ns = t0.elapsed().as_nanos() as u64;
                             if is_miss {
-                                local_miss.record(ns);
+                                miss_hist.record(ns);
                             } else {
-                                local_hit.record(ns);
+                                hit_hist.record(ns);
                             }
                             total.fetch_add(1, Ordering::Relaxed);
                         }
                     }
-                    hit_hist.lock().merge(&local_hit);
-                    miss_hist.lock().merge(&local_miss);
                 });
             }
         });
         out.push(PoolArchResult {
             architecture: label,
-            hit_p95_us: hit_hist.lock().p95() as f64 / 1_000.0,
-            miss_p95_us: miss_hist.lock().p95() as f64 / 1_000.0,
+            hit_p95_us: hit_hist.snapshot().p95() as f64 / 1_000.0,
+            miss_p95_us: miss_hist.snapshot().p95() as f64 / 1_000.0,
             requests: total.load(Ordering::Relaxed),
         });
         server.shutdown();
@@ -258,10 +254,15 @@ mod tests {
 
     #[test]
     fn look_aside_pays_more_rpc_calls() {
-        let results =
-            compare_cache_architectures(2_000, Duration::from_millis(200), 2, 11);
-        let rt = results.iter().find(|r| r.architecture == "read-through").unwrap();
-        let la = results.iter().find(|r| r.architecture == "look-aside").unwrap();
+        let results = compare_cache_architectures(2_000, Duration::from_millis(200), 2, 11);
+        let rt = results
+            .iter()
+            .find(|r| r.architecture == "read-through")
+            .unwrap();
+        let la = results
+            .iter()
+            .find(|r| r.architecture == "look-aside")
+            .unwrap();
         assert!(
             (0.99..=1.01).contains(&rt.rpc_calls_per_request),
             "read-through must be exactly one call per request: {}",
@@ -286,8 +287,14 @@ mod tests {
             4,
             7,
         );
-        let split = results.iter().find(|r| r.architecture == "fast/slow pools").unwrap();
-        let single = results.iter().find(|r| r.architecture == "single pool").unwrap();
+        let split = results
+            .iter()
+            .find(|r| r.architecture == "fast/slow pools")
+            .unwrap();
+        let single = results
+            .iter()
+            .find(|r| r.architecture == "single pool")
+            .unwrap();
         assert!(split.requests > 0 && single.requests > 0);
         // The architectural claim, qualitatively: the split pool's hit
         // p95 must beat the single pool's.

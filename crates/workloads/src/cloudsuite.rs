@@ -38,7 +38,11 @@ pub struct ScalingPoint {
 ///
 /// The benchmark intentionally reproduces CloudSuite Data Caching's
 /// non-sharded design: every GET/SET serializes on one mutex.
-pub fn data_caching_scaling(thread_counts: &[usize], per_point: Duration, seed: u64) -> Vec<ScalingPoint> {
+pub fn data_caching_scaling(
+    thread_counts: &[usize],
+    per_point: Duration,
+    seed: u64,
+) -> Vec<ScalingPoint> {
     thread_counts
         .iter()
         .map(|&threads| {
@@ -223,7 +227,9 @@ mod tests {
 
     #[test]
     fn fixed_parallelism_caps_utilization() {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         if cores < 4 {
             return; // can't demonstrate the gap on tiny machines
         }

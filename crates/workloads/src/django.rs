@@ -22,9 +22,7 @@
 //! * The production endpoint mix: `feed`, `timeline`, `seen`, `inbox`.
 
 use crate::store::WideRowStore;
-use dcperf_core::{
-    Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory,
-};
+use dcperf_core::{Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory};
 use dcperf_kvstore::{Cache, CacheConfig};
 use dcperf_loadgen::{ClosedLoop, EndpointMix, Service, ServiceError};
 use dcperf_tax::{compress, hash, serialize};
@@ -96,8 +94,12 @@ impl DjangoApp {
 
     /// `feed`: hot path — cached render of the user's first feed page.
     fn feed(&self, worker: usize, user: u64) -> Result<usize, ServiceError> {
-        let cache_key = [b"feed:".as_slice(), &worker.to_le_bytes(), &user.to_le_bytes()]
-            .concat();
+        let cache_key = [
+            b"feed:".as_slice(),
+            &worker.to_le_bytes(),
+            &user.to_le_bytes(),
+        ]
+        .concat();
         let rendered = self.cache.get_or_load(&cache_key, |_| {
             let state = self.workers[worker].lock();
             let rows = state.store.scan(user, 0, 25);
@@ -147,14 +149,20 @@ impl DjangoApp {
             let mut state = self.workers[worker].lock();
             for i in 0..4u64 {
                 let marker = seq.wrapping_mul(31).wrapping_add(i);
-                state
-                    .store
-                    .insert(user, 1_000_000 + marker % 512, marker.to_le_bytes().to_vec());
+                state.store.insert(
+                    user,
+                    1_000_000 + marker % 512,
+                    marker.to_le_bytes().to_vec(),
+                );
             }
             state.seen_writes += 4;
         }
-        let cache_key = [b"feed:".as_slice(), &worker.to_le_bytes(), &user.to_le_bytes()]
-            .concat();
+        let cache_key = [
+            b"feed:".as_slice(),
+            &worker.to_le_bytes(),
+            &user.to_le_bytes(),
+        ]
+        .concat();
         self.cache.delete(&cache_key);
         Ok(8)
     }
@@ -165,7 +173,7 @@ impl DjangoApp {
         let rows = state.store.scan(user, 0, 40);
         let unread = rows
             .iter()
-            .filter(|(ck, v)| (**ck + v.len() as u64) % 3 == 0)
+            .filter(|(ck, v)| (**ck + v.len() as u64).is_multiple_of(3))
             .count();
         Ok(16 + unread)
     }
@@ -225,8 +233,9 @@ impl Benchmark for DjangoBench {
 
         let app = DjangoApp {
             workers,
-            cache: Cache::new(
+            cache: Cache::with_telemetry(
                 CacheConfig::with_capacity_bytes(64 << 20).with_shards(threads * 2),
+                ctx.telemetry(),
             ),
             users_per_worker,
             zipf: Zipf::new(users_per_worker * threads as u64, self.config.zipf_exponent)
@@ -245,6 +254,7 @@ impl Benchmark for DjangoBench {
         let load = ClosedLoop::new(mix)
             .workers(threads)
             .duration(duration)
+            .telemetry(ctx.telemetry())
             .run(&app, seed);
 
         let mut report = ReportBuilder::new(self.name());

@@ -23,9 +23,7 @@
 //! Measurement follows the paper's methodology exactly: an open-loop
 //! Poisson load searched for the peak RPS whose P95 stays within the SLO.
 
-use dcperf_core::{
-    Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory,
-};
+use dcperf_core::{Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory};
 use dcperf_loadgen::{find_peak_load, EndpointMix, OpenLoop, Service, ServiceError};
 use dcperf_rpc::{InProcClient, InProcServer, PoolConfig, Request, Response, Value};
 use dcperf_tax::{compress, crypto};
@@ -295,8 +293,7 @@ impl Benchmark for FeedSim {
         let aggregator = Arc::new(Aggregator {
             leaves,
             stories_per_leaf,
-            zipf: Zipf::new(stories_per_leaf, 0.9)
-                .map_err(|e| Error::Config(e.to_string()))?,
+            zipf: Zipf::new(stories_per_leaf, 0.9).map_err(|e| Error::Config(e.to_string()))?,
             weights: model_weights(seed),
             candidates: self.config.candidates,
             top_k: self.config.top_k,

@@ -110,8 +110,16 @@ pub fn figure16_live(
     per_cell: Duration,
 ) -> Vec<(usize, &'static str, f64)> {
     let cells = [
-        (threads_small, CounterPolicy::EveryUpdate, "kernel-6.4-style"),
-        (threads_large, CounterPolicy::EveryUpdate, "kernel-6.4-style"),
+        (
+            threads_small,
+            CounterPolicy::EveryUpdate,
+            "kernel-6.4-style",
+        ),
+        (
+            threads_large,
+            CounterPolicy::EveryUpdate,
+            "kernel-6.4-style",
+        ),
         (
             threads_small,
             CounterPolicy::Ratelimited { flush_every: 64 },
@@ -154,7 +162,9 @@ mod tests {
 
     #[test]
     fn ratelimiting_helps_at_high_thread_counts() {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         let threads = (cores * 2).max(8);
         let dur = Duration::from_millis(150);
         let contended = run_contention(threads, dur, CounterPolicy::EveryUpdate);

@@ -16,9 +16,7 @@
 
 use crate::store::{PageRecord, PageStore};
 use crate::wiki::{self, TemplateSet};
-use dcperf_core::{
-    Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory,
-};
+use dcperf_core::{Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory};
 use dcperf_kvstore::{Cache, CacheConfig};
 use dcperf_loadgen::{ClosedLoop, EndpointMix, Service, ServiceError};
 use dcperf_tax::{compress, crypto};
@@ -186,8 +184,9 @@ impl Benchmark for MediaWikiBench {
 
         let app = WikiApp {
             pages: RwLock::new(pages),
-            cache: Cache::new(
+            cache: Cache::with_telemetry(
                 CacheConfig::with_capacity_bytes(128 << 20).with_shards(threads * 2),
+                ctx.telemetry(),
             ),
             templates: TemplateSet::standard(),
             zipf: Zipf::new(page_count, self.config.zipf_exponent)
@@ -198,13 +197,17 @@ impl Benchmark for MediaWikiBench {
         };
 
         // Siege's endpoint mix: mostly views, some edits/logins/talk.
-        let mix = EndpointMix::new(&["view", "edit", "login", "talk"], &[0.70, 0.08, 0.10, 0.12])
-            .map_err(|e| Error::Config(e.to_string()))?;
+        let mix = EndpointMix::new(
+            &["view", "edit", "login", "talk"],
+            &[0.70, 0.08, 0.10, 0.12],
+        )
+        .map_err(|e| Error::Config(e.to_string()))?;
 
         let duration = self.config.base_duration * scale.min(16) as u32;
         let load = ClosedLoop::new(mix)
             .workers(threads)
             .duration(duration)
+            .telemetry(ctx.telemetry())
             .run(&app, seed);
 
         let mut report = ReportBuilder::new(self.name());
@@ -216,7 +219,10 @@ impl Benchmark for MediaWikiBench {
         report.metric("error_rate", load.error_rate());
         report.metric("page_cache_hit_rate", app.cache.stats().hit_rate());
         report.latency_ms("request", &load.latency_ns);
-        for (name, count) in ["view", "edit", "login", "talk"].iter().zip(&load.per_endpoint) {
+        for (name, count) in ["view", "edit", "login", "talk"]
+            .iter()
+            .zip(&load.per_endpoint)
+        {
             report.metric(&format!("requests_{name}"), *count);
         }
         Ok(report.finish(ctx))
@@ -259,7 +265,10 @@ mod tests {
         let mut ctx = RunContext::new(RunConfig::smoke_test().with_threads(2), "mediawiki");
         let report = bench.run(&mut ctx).unwrap();
         let hit_rate = report.metric_f64("page_cache_hit_rate").unwrap();
-        assert!(hit_rate > 0.5, "read-through page cache hit rate {hit_rate}");
+        assert!(
+            hit_rate > 0.5,
+            "read-through page cache hit rate {hit_rate}"
+        );
     }
 
     #[test]

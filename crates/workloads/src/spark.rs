@@ -19,15 +19,20 @@
 //!   shuffle spill. Stage 2: the same for the dimension table. Stage 3:
 //!   per-partition hash join + group-by aggregation (compute-bound).
 
-use dcperf_core::{
-    Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory,
+use dcperf_core::{Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory};
+use dcperf_tax::{
+    compress,
+    serialize::{self, FieldValue, Record},
 };
-use dcperf_tax::{compress, serialize::{self, FieldValue, Record}};
 use dcperf_util::{Rng, SplitMix64, Xoshiro256pp, Zipf};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Aggregation state keyed by `(segment, region)`: running revenue sum
+/// and row count for that group.
+type GroupAgg = HashMap<(i64, String), (f64, u64)>;
 
 /// Tunable parameters.
 #[derive(Debug, Clone)]
@@ -114,11 +119,10 @@ fn write_part(path: &Path, records: &[Record]) -> std::io::Result<usize> {
 
 fn read_part(path: &Path) -> Result<Vec<Record>, Error> {
     let packed = std::fs::read(path)?;
-    let buf = compress::lz_decompress(&packed)
-        .map_err(|e| Error::Benchmark {
-            name: "spark_bench".into(),
-            message: format!("corrupt part file {}: {e}", path.display()),
-        })?;
+    let buf = compress::lz_decompress(&packed).map_err(|e| Error::Benchmark {
+        name: "spark_bench".into(),
+        message: format!("corrupt part file {}: {e}", path.display()),
+    })?;
     let (records, _) = serialize::decode_batch(&buf).map_err(|e| Error::Benchmark {
         name: "spark_bench".into(),
         message: format!("undecodable part file {}: {e}", path.display()),
@@ -200,10 +204,8 @@ impl Benchmark for SparkBench {
         let dim_rows = self.config.base_dim_rows * scale;
         let partitions = self.config.partitions;
 
-        let dir = std::env::temp_dir().join(format!(
-            "dcperf-spark-{}-{seed:x}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("dcperf-spark-{}-{seed:x}", std::process::id()));
         std::fs::create_dir_all(&dir)?;
         // Ensure cleanup even on early error.
         let result = self.run_in(ctx, &dir, fact_rows, dim_rows, partitions, threads, seed);
@@ -271,8 +273,12 @@ impl SparkBench {
                 let scanned = records.len() as u64;
                 let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); partitions];
                 for record in records {
-                    let Some(user) = record_i64(&record, 0) else { continue };
-                    let Some(amount) = record_f64(&record, 3) else { continue };
+                    let Some(user) = record_i64(&record, 0) else {
+                        continue;
+                    };
+                    let Some(amount) = record_f64(&record, 3) else {
+                        continue;
+                    };
                     if amount > threshold {
                         buckets[(user as u64 % partitions as u64) as usize].push(record);
                     }
@@ -325,7 +331,7 @@ impl SparkBench {
         let partial_results = run_tasks(
             (0..partitions).collect::<Vec<_>>(),
             threads,
-            |b| -> Result<HashMap<(i64, String), (f64, u64)>, Error> {
+            |b| -> Result<GroupAgg, Error> {
                 // Build side: dimension rows for this partition.
                 let dim_path = dir.join(format!("shuffle/dim-{b}.shf"));
                 let mut segments: HashMap<i64, i64> = HashMap::new();
@@ -339,7 +345,7 @@ impl SparkBench {
                     }
                 }
                 // Probe side: every fact shuffle file for this partition.
-                let mut agg: HashMap<(i64, String), (f64, u64)> = HashMap::new();
+                let mut agg: GroupAgg = HashMap::new();
                 for entry in std::fs::read_dir(dir.join("shuffle"))? {
                     let entry = entry?;
                     let name = entry.file_name();
@@ -355,10 +361,10 @@ impl SparkBench {
                         ) else {
                             continue;
                         };
-                        let Some(&segment) = segments.get(&user) else { continue };
-                        let slot = agg
-                            .entry((segment, country.to_owned()))
-                            .or_insert((0.0, 0));
+                        let Some(&segment) = segments.get(&user) else {
+                            continue;
+                        };
+                        let slot = agg.entry((segment, country.to_owned())).or_insert((0.0, 0));
                         slot.0 += amount;
                         slot.1 += 1;
                     }
@@ -367,7 +373,7 @@ impl SparkBench {
             },
         );
         // Global merge + order by revenue.
-        let mut merged: HashMap<(i64, String), (f64, u64)> = HashMap::new();
+        let mut merged: GroupAgg = HashMap::new();
         for partial in partial_results {
             for (key, (sum, count)) in partial? {
                 let slot = merged.entry(key).or_insert((0.0, 0));
@@ -376,7 +382,11 @@ impl SparkBench {
             }
         }
         let mut groups: Vec<((i64, String), (f64, u64))> = merged.into_iter().collect();
-        groups.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).unwrap_or(std::cmp::Ordering::Equal));
+        groups.sort_by(|a, b| {
+            b.1 .0
+                .partial_cmp(&a.1 .0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let stage3_secs = stage3_started.elapsed().as_secs_f64();
 
         let joined_rows: u64 = groups.iter().map(|(_, (_, c))| c).sum();
@@ -427,7 +437,10 @@ mod tests {
         let report = bench.run(&mut ctx).expect("spark runs");
         assert_eq!(report.metric_f64("scanned_rows"), Some(12_000.0));
         let surviving = report.metric_f64("surviving_rows").unwrap();
-        assert!(surviving > 0.0 && surviving < 12_000.0, "filter must be selective");
+        assert!(
+            surviving > 0.0 && surviving < 12_000.0,
+            "filter must be selective"
+        );
         assert!(report.metric_f64("joined_rows").unwrap() > 0.0);
         let groups = report.metric_f64("result_groups").unwrap();
         // Group-by (segment × country): bounded by 8 × 12 = 96.
@@ -442,13 +455,15 @@ mod tests {
     fn results_are_deterministic_across_runs() {
         let bench = SparkBench::with_config(smoke());
         let run = || {
-            let mut ctx =
-                RunContext::new(RunConfig::smoke_test().with_threads(4), "spark_bench");
+            let mut ctx = RunContext::new(RunConfig::smoke_test().with_threads(4), "spark_bench");
             bench.run(&mut ctx).unwrap()
         };
         let a = run();
         let b = run();
-        assert_eq!(a.metric_f64("surviving_rows"), b.metric_f64("surviving_rows"));
+        assert_eq!(
+            a.metric_f64("surviving_rows"),
+            b.metric_f64("surviving_rows")
+        );
         assert_eq!(a.metric_f64("joined_rows"), b.metric_f64("joined_rows"));
         assert_eq!(
             a.metrics.get("top_group"),

@@ -89,7 +89,7 @@ pub fn xz_like(buffer_len: usize, rounds: usize, seed: u64) -> u64 {
 /// Searches to `depth` with alpha-beta pruning. Returns the root value.
 pub fn deepsjeng_like(depth: u32, seed: u64) -> i64 {
     fn leaf_value(state: u64) -> i64 {
-        (SplitMix64::mix(state) as i64 >> 40) // small signed range
+        SplitMix64::mix(state) as i64 >> 40 // small signed range
     }
     fn moves(state: u64) -> [u64; 6] {
         let mut out = [0u64; 6];
@@ -192,7 +192,11 @@ mod tests {
             best
         }
         for seed in [1u64, 99, 12345] {
-            assert_eq!(deepsjeng_like(4, seed), minimax(seed, 4, true), "seed {seed}");
+            assert_eq!(
+                deepsjeng_like(4, seed),
+                minimax(seed, 4, true),
+                "seed {seed}"
+            );
         }
     }
 
@@ -200,7 +204,7 @@ mod tests {
     fn exchange2_like_counts_are_plausible() {
         // gap=1 accepts every permutation of the remaining 8 values.
         assert_eq!(exchange2_like(1, 0), 40_320); // 8!
-        // Larger gaps admit strictly fewer arrangements.
+                                                  // Larger gaps admit strictly fewer arrangements.
         let g2 = exchange2_like(2, 0);
         let g3 = exchange2_like(3, 0);
         assert!(g2 < 40_320);

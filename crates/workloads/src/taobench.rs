@@ -16,9 +16,7 @@
 //! memtier-style closed-loop client drawing Zipf-distributed keys with
 //! production-shaped value sizes.
 
-use dcperf_core::{
-    Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory,
-};
+use dcperf_core::{Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory};
 use dcperf_kvstore::{BackingStore, BackingStoreConfig, Cache, CacheConfig};
 use dcperf_loadgen::{ClosedLoop, EndpointMix, Service, ServiceError};
 use dcperf_rpc::{InProcClient, InProcServer, Lane, PoolConfig, Request, Response};
@@ -136,11 +134,12 @@ impl Benchmark for TaoBench {
             seed,
         ));
         let mean_object = 450usize; // log-normal mean for the TAO shape
-        let capacity =
-            (key_space as usize * mean_object) as f64 * self.config.cache_fraction;
-        let cache = Arc::new(Cache::new(
-            CacheConfig::with_capacity_bytes(capacity as usize)
-                .with_shards(threads * 4),
+        let capacity = (key_space as usize * mean_object) as f64 * self.config.cache_fraction;
+        // Record onto the run's registry so the report's telemetry
+        // snapshot carries the cache counters.
+        let cache = Arc::new(Cache::with_telemetry(
+            CacheConfig::with_capacity_bytes(capacity as usize).with_shards(threads * 4),
+            ctx.telemetry(),
         ));
 
         // Server: fast pool for hits, slow pool for misses/SETs.
@@ -151,12 +150,12 @@ impl Benchmark for TaoBench {
         let classify_cache = Arc::clone(&cache);
         let server = InProcServer::start_with_classifier(
             move |req: &Request| match req.method.as_str() {
-                "get" => match handler_cache
-                    .get_or_load(&req.body, |key| handler_store.lookup(key))
-                {
-                    Some(value) => Response::ok(value),
-                    None => Response::error("object not found"),
-                },
+                "get" => {
+                    match handler_cache.get_or_load(&req.body, |key| handler_store.lookup(key)) {
+                        Some(value) => Response::ok(value),
+                        None => Response::error("object not found"),
+                    }
+                }
                 "set" => {
                     if req.body.len() < 8 {
                         return Response::error("malformed set");
@@ -210,9 +209,12 @@ impl Benchmark for TaoBench {
         report.param("zipf_exponent", self.config.zipf_exponent);
 
         let duration = self.config.base_duration * scale.min(16) as u32;
+        // The measured run records onto the run registry (the warmup above
+        // kept its own, so warmup traffic stays out of the snapshot).
         let load = ClosedLoop::new(mix)
             .workers(threads)
             .duration(duration)
+            .telemetry(ctx.telemetry())
             .run(&client, seed);
 
         // Hit rate over the measured phase only (classifier peeks are

@@ -7,9 +7,7 @@
 //! early-warning signal: "if a server SKU performs poorly on them, it is
 //! likely to exhibit subpar performance for many applications".
 
-use dcperf_core::{
-    Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory,
-};
+use dcperf_core::{Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory};
 use dcperf_tax::Registry;
 use dcperf_util::geometric_mean;
 use std::time::Instant;

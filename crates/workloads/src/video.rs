@@ -13,9 +13,7 @@
 //! LZ compressor. One instance runs per logical core, exactly as the
 //! paper spawns one ffmpeg per core.
 
-use dcperf_core::{
-    Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory,
-};
+use dcperf_core::{Benchmark, BenchmarkReport, Error, ReportBuilder, RunContext, WorkloadCategory};
 use dcperf_tax::compress;
 use dcperf_util::{Rng, SplitMix64};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,11 +40,9 @@ impl Frame {
         let phase = frame_index as f64 * 0.15;
         for y in 0..height {
             for x in 0..width {
-                let gradient = (x as f64 / width as f64) * 90.0
-                    + (y as f64 / height as f64) * 60.0;
-                let texture = ((x as f64 * 0.30 + phase).sin()
-                    * (y as f64 * 0.22 - phase).cos())
-                    * 40.0;
+                let gradient = (x as f64 / width as f64) * 90.0 + (y as f64 / height as f64) * 60.0;
+                let texture =
+                    ((x as f64 * 0.30 + phase).sin() * (y as f64 * 0.22 - phase).cos()) * 40.0;
                 let grain = (rng.next_u64() % 11) as f64 - 5.0;
                 pixels.push((gradient + texture + grain + 60.0).clamp(0.0, 255.0) as u8);
             }
@@ -64,7 +60,10 @@ impl Frame {
     ///
     /// Panics if either target dimension is zero.
     pub fn resize(&self, new_width: usize, new_height: usize) -> Frame {
-        assert!(new_width > 0 && new_height > 0, "resize target must be non-zero");
+        assert!(
+            new_width > 0 && new_height > 0,
+            "resize target must be non-zero"
+        );
         let mut pixels = Vec::with_capacity(new_width * new_height);
         let x_ratio = self.width as f64 / new_width as f64;
         let y_ratio = self.height as f64 / new_height as f64;
@@ -100,8 +99,16 @@ fn dct8x8(block: &[f64; 64]) -> [f64; 64] {
     let mut out = [0f64; 64];
     for v in 0..8 {
         for u in 0..8 {
-            let cu = if u == 0 { 1.0 / std::f64::consts::SQRT_2 } else { 1.0 };
-            let cv = if v == 0 { 1.0 / std::f64::consts::SQRT_2 } else { 1.0 };
+            let cu = if u == 0 {
+                1.0 / std::f64::consts::SQRT_2
+            } else {
+                1.0
+            };
+            let cv = if v == 0 {
+                1.0 / std::f64::consts::SQRT_2
+            } else {
+                1.0
+            };
             let mut sum = 0.0;
             for y in 0..8 {
                 for x in 0..8 {
@@ -118,9 +125,9 @@ fn dct8x8(block: &[f64; 64]) -> [f64; 64] {
 
 /// JPEG-style luma quantization table, scaled by quality.
 const QUANT_BASE: [i32; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57,
-    69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64,
-    81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Zigzag scan order for 8×8 blocks.
@@ -292,16 +299,14 @@ impl Benchmark for VideoTranscodeBench {
                 scope.spawn(move || {
                     let instance_seed = seed ^ (instance as u64) << 32;
                     for f in 0..frames_per_instance {
-                        let frame =
-                            Frame::synthetic(config.width, config.height, f, instance_seed);
+                        let frame = Frame::synthetic(config.width, config.height, f, instance_seed);
                         bytes_in.fetch_add(frame.pixels.len() as u64, Ordering::Relaxed);
                         // (1) resize into multiple resolutions,
                         // (2) encode each rendition.
                         for &(w, h) in &config.ladder {
                             let resized = frame.resize(w, h);
                             let bitstream = encode_frame(&resized, config.quality);
-                            pixels_done
-                                .fetch_add(resized.pixels.len() as u64, Ordering::Relaxed);
+                            pixels_done.fetch_add(resized.pixels.len() as u64, Ordering::Relaxed);
                             bytes_out.fetch_add(bitstream.len() as u64, Ordering::Relaxed);
                             std::hint::black_box(&bitstream);
                         }
@@ -318,15 +323,15 @@ impl Benchmark for VideoTranscodeBench {
         let mut report = ReportBuilder::new(self.name());
         report.param("instances", instances as u64);
         report.param("frames_per_instance", frames_per_instance);
-        report.param("source", format!("{}x{}", self.config.width, self.config.height));
+        report.param(
+            "source",
+            format!("{}x{}", self.config.width, self.config.height),
+        );
         report.param("renditions", self.config.ladder.len() as u64);
         report.metric("megapixels_per_second", megapixels / elapsed.max(1e-9));
         report.metric("frames_encoded", frames_per_instance * instances as u64);
         report.metric("bitstream_bytes", out);
-        report.metric(
-            "compression_ratio",
-            raw as f64 / out.max(1) as f64,
-        );
+        report.metric("compression_ratio", raw as f64 / out.max(1) as f64);
         report.metric("elapsed_seconds", elapsed);
         Ok(report.finish(ctx))
     }

@@ -42,7 +42,10 @@ impl TemplateSet {
             "<table class=\"infobox\"><tr><th>{{{1}}}</th></tr><tr><td>{{{2}}}</td></tr></table>",
         );
         set.insert("cite", "<sup class=\"cite\">[{{{1}}}]</sup>");
-        set.insert("birth date", "<span class=\"bday\">{{{1}}}-{{{2}}}-{{{3}}}</span>");
+        set.insert(
+            "birth date",
+            "<span class=\"bday\">{{{1}}}-{{{2}}}-{{{3}}}</span>",
+        );
         set.insert("quote", "<blockquote>{{{1}}} — ''{{{2}}}''</blockquote>");
         set.insert("flag", "<span class=\"flag\">{{{1}}}</span>");
         set
@@ -83,7 +86,7 @@ pub fn render(source: &str, templates: &TemplateSet) -> String {
         if let Some(heading) = parse_heading(trimmed) {
             close_blocks(&mut html, &mut in_list, &mut in_paragraph);
             let (level, text) = heading;
-            let _ = write!(html, "<h{level}>{}</h{level}>\n", render_inline(text));
+            let _ = writeln!(html, "<h{level}>{}</h{level}>", render_inline(text));
             continue;
         }
         if let Some(item) = trimmed.strip_prefix("* ") {
@@ -95,7 +98,7 @@ pub fn render(source: &str, templates: &TemplateSet) -> String {
                 html.push_str("<ul>\n");
                 in_list = true;
             }
-            let _ = write!(html, "<li>{}</li>\n", render_inline(item));
+            let _ = writeln!(html, "<li>{}</li>", render_inline(item));
             continue;
         }
         if in_list {
@@ -310,9 +313,22 @@ pub fn generate_article(page_id: u64, target_len: usize, seed: u64) -> String {
         "{{{{infobox|Article {page_id}|Generated encyclopedia entry}}}}"
     );
     let words = [
-        "president", "election", "university", "history", "science", "battle",
-        "treaty", "island", "dynasty", "orchestra", "language", "protocol",
-        "economy", "architecture", "constitution", "algorithm",
+        "president",
+        "election",
+        "university",
+        "history",
+        "science",
+        "battle",
+        "treaty",
+        "island",
+        "dynasty",
+        "orchestra",
+        "language",
+        "protocol",
+        "economy",
+        "architecture",
+        "constitution",
+        "algorithm",
     ];
     let mut section = 0u64;
     while out.len() < target_len {
@@ -342,7 +358,7 @@ pub fn generate_article(page_id: u64, target_len: usize, seed: u64) -> String {
             }
             let _ = writeln!(out, "{sentence}.");
         }
-        if section % 3 == 0 {
+        if section.is_multiple_of(3) {
             let _ = writeln!(out, "{{{{quote|notable remark {section}|historian}}}}");
             for item in 0..(rng.next_u64() % 4 + 2) {
                 let _ = writeln!(out, "* item {item} {{{{flag|region-{item}}}}}");
@@ -362,7 +378,10 @@ mod tests {
 
     #[test]
     fn renders_headings_and_paragraphs() {
-        let html = render("== Title ==\nBody text here.\n\nSecond para.", &std_templates());
+        let html = render(
+            "== Title ==\nBody text here.\n\nSecond para.",
+            &std_templates(),
+        );
         assert!(html.contains("<h2>Title</h2>"), "{html}");
         assert!(html.contains("<p>Body text here.</p>"), "{html}");
         assert!(html.contains("<p>Second para.</p>"), "{html}");
@@ -384,15 +403,27 @@ mod tests {
 
     #[test]
     fn renders_links() {
-        let html = render("See [[Barack Obama]] and [[Some Page|label]].", &std_templates());
-        assert!(html.contains("<a href=\"/wiki/Barack_Obama\">Barack Obama</a>"), "{html}");
-        assert!(html.contains("<a href=\"/wiki/Some_Page\">label</a>"), "{html}");
+        let html = render(
+            "See [[Barack Obama]] and [[Some Page|label]].",
+            &std_templates(),
+        );
+        assert!(
+            html.contains("<a href=\"/wiki/Barack_Obama\">Barack Obama</a>"),
+            "{html}"
+        );
+        assert!(
+            html.contains("<a href=\"/wiki/Some_Page\">label</a>"),
+            "{html}"
+        );
     }
 
     #[test]
     fn renders_lists() {
         let html = render("* one\n* two\nafter", &std_templates());
-        assert!(html.contains("<ul>\n<li>one</li>\n<li>two</li>\n</ul>"), "{html}");
+        assert!(
+            html.contains("<ul>\n<li>one</li>\n<li>two</li>\n</ul>"),
+            "{html}"
+        );
         assert!(html.contains("<p>after</p>"));
     }
 

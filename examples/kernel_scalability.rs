@@ -22,13 +22,18 @@ fn main() {
     println!("  paper: 100% / 162% / 103% / 249%\n");
 
     println!("=== Live mechanism demo on this host ===");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let small = cores.max(2);
     let large = cores * 4;
     println!("  (host has {cores} cores; using {small} vs {large} threads)\n");
     for (threads, label) in [(small, "baseline"), (large, "oversubscribed")] {
-        let contended =
-            run_contention(threads, Duration::from_millis(400), CounterPolicy::EveryUpdate);
+        let contended = run_contention(
+            threads,
+            Duration::from_millis(400),
+            CounterPolicy::EveryUpdate,
+        );
         let ratelimited = run_contention(
             threads,
             Duration::from_millis(400),

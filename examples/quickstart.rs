@@ -20,8 +20,15 @@ fn main() -> Result<(), dcperf::core::Error> {
         ..RunConfig::new()
     };
 
-    println!("DCPerf-RS quickstart — {} benchmarks registered", suite.len());
-    println!("running at {:?} scale on {} threads\n", config.scale, config.effective_threads());
+    println!(
+        "DCPerf-RS quickstart — {} benchmarks registered",
+        suite.len()
+    );
+    println!(
+        "running at {:?} scale on {} threads\n",
+        config.scale,
+        config.effective_threads()
+    );
 
     let summary = suite.run_all(&config)?;
     for report in summary.reports() {

@@ -18,7 +18,10 @@ fn main() {
     println!("{}", sku::render_table4());
 
     println!("Projected throughput (relative to SKU1) per DCPerf benchmark:");
-    println!("{:<14} {:>7} {:>7} {:>7}", "benchmark", "SKU4", "SKU-A", "SKU-B");
+    println!(
+        "{:<14} {:>7} {:>7} {:>7}",
+        "benchmark", "SKU4", "SKU-A", "SKU-B"
+    );
     for p in profiles::dcperf_suite() {
         let base = model.evaluate(&p, &sku::SKU1, &os).throughput;
         let t4 = model.evaluate(&p, &sku::SKU4, &os).throughput / base;
@@ -29,7 +32,10 @@ fn main() {
 
     println!("\nPerf/Watt (normalized to SKU1), the §5.1 decision metric:");
     let ppw = projection::figure14(&model);
-    println!("{:<14} {:>7} {:>7} {:>7}", "benchmark", "SKU4", "SKU-A", "SKU-B");
+    println!(
+        "{:<14} {:>7} {:>7} {:>7}",
+        "benchmark", "SKU4", "SKU-A", "SKU-B"
+    );
     let mut names: Vec<String> = Vec::new();
     for row in &ppw {
         if !names.contains(&row.benchmark) {

@@ -54,13 +54,13 @@ fn main() {
                         config.scale = parse_scale(it.next().map(String::as_str).unwrap_or(""))
                     }
                     "--threads" => {
-                        config.threads = it
-                            .next()
-                            .and_then(|v| v.parse().ok())
-                            .or_else(|| usage())
+                        config.threads = it.next().and_then(|v| v.parse().ok()).or_else(|| usage())
                     }
                     "--seed" => {
-                        config.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                        config.seed = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
                     }
                     "--out" => {
                         config.output_dir =
@@ -109,7 +109,11 @@ fn main() {
             eprintln!("figures live in the dcperf-bench crate; run:");
             eprintln!(
                 "  cargo run -p dcperf-bench --bin figures -- {}",
-                if args.len() > 1 { args[1..].join(" ") } else { "all".into() }
+                if args.len() > 1 {
+                    args[1..].join(" ")
+                } else {
+                    "all".into()
+                }
             );
             std::process::exit(2);
         }

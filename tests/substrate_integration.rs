@@ -22,8 +22,7 @@ fn rpc_cache_store_pipeline_round_trips() {
     let handler_cache = Arc::clone(&cache);
     let server = InProcServer::start(
         move |req: &Request| {
-            let Some(object) =
-                handler_cache.get_or_load(&req.body, |k| handler_store.lookup(k))
+            let Some(object) = handler_cache.get_or_load(&req.body, |k| handler_store.lookup(k))
             else {
                 return Response::error("missing");
             };
@@ -47,12 +46,20 @@ fn rpc_cache_store_pipeline_round_trips() {
         let resp = client.call("get", key.clone()).expect("call succeeds");
         // Verify MAC, decompress, decode, compare against the store.
         let (packed, mac) = resp.body.split_at(resp.body.len() - 32);
-        assert_eq!(mac, crypto::hmac_sha256(&key_for_mac, packed), "MAC mismatch");
+        assert_eq!(
+            mac,
+            crypto::hmac_sha256(&key_for_mac, packed),
+            "MAC mismatch"
+        );
         let value_bytes = compress::lz_decompress(packed).expect("decompresses");
         let value = Value::decode(&value_bytes).expect("decodes");
         assert_eq!(value.field(1).unwrap().as_bin().unwrap(), &key[..]);
         let object = value.field(2).unwrap().as_bin().unwrap();
-        assert_eq!(object, store.lookup(&key).unwrap(), "cache served wrong object");
+        assert_eq!(
+            object,
+            store.lookup(&key).unwrap(),
+            "cache served wrong object"
+        );
     }
     // 50 distinct keys over 200 requests: 150 hits.
     assert_eq!(cache.stats().misses(), 50);

@@ -39,8 +39,7 @@ fn full_suite_runs_and_scores() {
     for report in summary.reports() {
         let path = dir.join(format!("{}.json", report.benchmark));
         assert!(path.exists(), "missing {}", path.display());
-        let parsed =
-            BenchmarkReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let parsed = BenchmarkReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(parsed.benchmark, report.benchmark);
         assert!(!parsed.metrics.is_empty());
         // System info is stamped (§3.1's "key information about the
@@ -73,7 +72,10 @@ fn suite_reports_include_hook_series() {
     #[cfg(target_os = "linux")]
     {
         let cpu = report.hooks.iter().find(|h| h.hook == "cpu_util").unwrap();
-        let total = cpu.series.get("cpu_util_total").expect("cpu series sampled");
+        let total = cpu
+            .series
+            .get("cpu_util_total")
+            .expect("cpu series sampled");
         assert!(!total.values.is_empty());
         assert!(total.mean >= 0.0 && total.mean <= 100.0);
     }
@@ -91,7 +93,16 @@ fn individual_benchmark_runs_are_reproducible_in_shape() {
     };
     let a = suite.run("spark_bench", &config).unwrap();
     let b = suite.run("spark_bench", &config).unwrap();
-    for metric in ["scanned_rows", "surviving_rows", "joined_rows", "result_groups"] {
-        assert_eq!(a.metric_f64(metric), b.metric_f64(metric), "{metric} differs");
+    for metric in [
+        "scanned_rows",
+        "surviving_rows",
+        "joined_rows",
+        "result_groups",
+    ] {
+        assert_eq!(
+            a.metric_f64(metric),
+            b.metric_f64(metric),
+            "{metric} differs"
+        );
     }
 }

@@ -1,0 +1,173 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness with criterion's calling
+//! convention (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! throughput annotations). It auto-calibrates the iteration count to a
+//! ~100 ms measurement window and prints mean time per iteration plus
+//! derived throughput. No statistical analysis, baselines, or HTML
+//! reports; good enough to run `cargo bench` offline and eyeball numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How work per iteration is expressed when reporting throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the amount of work each iteration represents.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a function within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iters` times and records the elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibrate: grow the iteration count until one batch takes >= 10 ms,
+    // then scale to a ~100 ms measurement window.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 30 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(8);
+    };
+    let measure_iters = ((0.1 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 32);
+    let mut b = Bencher {
+        iters: measure_iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / measure_iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(", {:.1} MiB/s", n as f64 / mean / (1 << 20) as f64),
+        Throughput::Elements(n) => format!(", {:.0} elem/s", n as f64 / mean),
+    });
+    println!(
+        "  {name}: {} per iter ({measure_iters} iters){}",
+        format_duration(mean),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.elapsed > Duration::ZERO || b.iters == 100);
+    }
+
+    #[test]
+    fn format_duration_scales() {
+        assert!(format_duration(2.0).ends_with(" s"));
+        assert!(format_duration(2e-3).ends_with(" ms"));
+        assert!(format_duration(2e-6).ends_with(" us"));
+        assert!(format_duration(2e-9).ends_with(" ns"));
+    }
+}

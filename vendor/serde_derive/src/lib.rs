@@ -1,0 +1,427 @@
+//! Offline shim for the `serde_derive` crate.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the in-tree `serde` shim
+//! by parsing the raw token stream directly (no `syn`/`quote`, which are
+//! unavailable offline). Supported shapes — the ones this workspace uses:
+//!
+//! * structs with named fields;
+//! * enums with unit, newtype, and tuple variants (externally tagged);
+//! * `#[serde(untagged)]` enums whose variants are all newtype or unit.
+//!
+//! Unsupported shapes (generics, tuple structs, struct variants) panic at
+//! expansion time with a clear message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    untagged: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: `(variant name, tuple arity)`; arity 0 means a unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed.kind {
+        Kind::Struct(fields) => gen_struct_serialize(&parsed.name, fields),
+        Kind::Enum(variants) => gen_enum_serialize(&parsed.name, variants, parsed.untagged),
+    };
+    body.parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed.kind {
+        Kind::Struct(fields) => gen_struct_deserialize(&parsed.name, fields),
+        Kind::Enum(variants) => gen_enum_deserialize(&parsed.name, variants, parsed.untagged),
+    };
+    body.parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut untagged = false;
+
+    // Outer attributes (doc comments arrive as #[doc = "..."]).
+    while i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let text = g.stream().to_string();
+                if text.starts_with("serde") && text.contains("untagged") {
+                    untagged = true;
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+
+    i = skip_visibility(&tokens, i);
+
+    let is_struct = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => true,
+        TokenTree::Ident(id) if id.to_string() == "enum" => false,
+        other => panic!("serde shim derive: expected struct or enum, found `{other}`"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected a type name, found `{other}`"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple struct `{name}` is not supported")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde shim derive: no braced body found for `{name}`"),
+        }
+    };
+
+    let kind = if is_struct {
+        Kind::Struct(parse_named_fields(body, &name))
+    } else {
+        Kind::Enum(parse_variants(body, &name))
+    };
+    Input {
+        name,
+        untagged,
+        kind,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        let is_bracket =
+            matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket);
+        if is_hash && is_bracket {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+fn parse_named_fields(body: TokenStream, type_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde shim derive: expected field name in `{type_name}`, found `{other}`")
+            }
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde shim derive: expected `:` after `{type_name}.{field}`, found `{other}`"
+            ),
+        }
+        // Skip the field type up to the next comma outside of angle brackets.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream, type_name: &str) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde shim derive: expected variant name in `{type_name}`, found `{other}`")
+            }
+        };
+        i += 1;
+        let mut arity = 0;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_tuple_elements(g.stream());
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!(
+                    "serde shim derive: struct variant `{type_name}::{variant}` is not supported"
+                )
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!(
+                    "serde shim derive: explicit discriminant on `{type_name}::{variant}` is not supported"
+                )
+            }
+            _ => {}
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => panic!(
+                "serde shim derive: expected `,` after `{type_name}::{variant}`, found `{other}`"
+            ),
+        }
+        variants.push((variant, arity));
+    }
+    variants
+}
+
+fn count_tuple_elements(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut count = 1;
+    for (idx, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            // A trailing comma does not start another element.
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && idx + 1 < tokens.len() =>
+            {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+// --- code generation -------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(unused_mut, clippy::all)]\n";
+
+fn gen_struct_serialize(name: &str, fields: &[String]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        pushes.push_str(&format!(
+            "entries.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+         {pushes}\
+         ::serde::Value::Object(entries)\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::field(entries, \"{f}\")?)?,\n"
+        ));
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         let entries = value.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+         ::std::result::Result::Ok({name} {{\n\
+         {inits}\
+         }})\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn tuple_bindings(arity: usize) -> String {
+    (0..arity)
+        .map(|k| format!("x{k}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_enum_serialize(name: &str, variants: &[(String, usize)], untagged: bool) -> String {
+    let mut arms = String::new();
+    for (variant, arity) in variants {
+        let arm = if untagged {
+            match arity {
+                0 => format!("{name}::{variant} => ::serde::Value::Null,\n"),
+                1 => format!("{name}::{variant}(x0) => ::serde::Serialize::to_value(x0),\n"),
+                _ => panic!(
+                    "serde shim derive: untagged tuple variant `{name}::{variant}` is not supported"
+                ),
+            }
+        } else {
+            match arity {
+                0 => format!(
+                    "{name}::{variant} => ::serde::Value::String(\"{variant}\".to_string()),\n"
+                ),
+                1 => format!(
+                    "{name}::{variant}(x0) => ::serde::Value::Object(::std::vec![(\"{variant}\".to_string(), ::serde::Serialize::to_value(x0))]),\n"
+                ),
+                n => {
+                    let binds = tuple_bindings(*n);
+                    let items = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(x{k})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "{name}::{variant}({binds}) => ::serde::Value::Object(::std::vec![(\"{variant}\".to_string(), ::serde::Value::Array(::std::vec![{items}]))]),\n"
+                    )
+                }
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n\
+         {arms}\
+         }}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[(String, usize)], untagged: bool) -> String {
+    if untagged {
+        return gen_untagged_deserialize(name, variants);
+    }
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for (variant, arity) in variants {
+        match arity {
+            0 => unit_arms.push_str(&format!(
+                "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),\n"
+            )),
+            1 => tagged_arms.push_str(&format!(
+                "\"{variant}\" => {{ return ::std::result::Result::Ok({name}::{variant}(::serde::Deserialize::from_value(inner)?)); }}\n"
+            )),
+            n => {
+                let items = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                tagged_arms.push_str(&format!(
+                    "\"{variant}\" => {{\n\
+                     let items = inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}::{variant}\"))?;\n\
+                     if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{variant}\")); }}\n\
+                     return ::std::result::Result::Ok({name}::{variant}({items}));\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         if let ::std::option::Option::Some(s) = value.as_str() {{\n\
+         return match s {{\n\
+         {unit_arms}\
+         other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant '{{other}}' for {name}\"))),\n\
+         }};\n\
+         }}\n\
+         if let ::std::option::Option::Some(entries) = value.as_object() {{\n\
+         if entries.len() == 1 {{\n\
+         let (tag, inner) = &entries[0];\n\
+         match tag.as_str() {{\n\
+         {tagged_arms}\
+         _ => {{}}\n\
+         }}\n\
+         }}\n\
+         }}\n\
+         ::std::result::Result::Err(::serde::Error::custom(\"no matching variant for {name}\"))\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_untagged_deserialize(name: &str, variants: &[(String, usize)]) -> String {
+    let mut attempts = String::new();
+    for (variant, arity) in variants {
+        match arity {
+            0 => attempts.push_str(&format!(
+                "if matches!(value, ::serde::Value::Null) {{ return ::std::result::Result::Ok({name}::{variant}); }}\n"
+            )),
+            1 => attempts.push_str(&format!(
+                "{{\n\
+                 let attempt: ::std::result::Result<_, ::serde::Error> = ::serde::Deserialize::from_value(value);\n\
+                 if let ::std::result::Result::Ok(x) = attempt {{ return ::std::result::Result::Ok({name}::{variant}(x)); }}\n\
+                 }}\n"
+            )),
+            _ => panic!(
+                "serde shim derive: untagged tuple variant `{name}::{variant}` is not supported"
+            ),
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {attempts}\
+         ::std::result::Result::Err(::serde::Error::custom(\"no untagged variant matched for {name}\"))\n\
+         }}\n\
+         }}"
+    )
+}
