@@ -7,6 +7,8 @@
 //! log-normal distribution, and a configurable lookup latency.
 
 use dcperf_util::{LogNormal, Rng, SplitMix64};
+#[cfg(feature = "fault-injection")]
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of the simulated database tier.
@@ -59,6 +61,9 @@ pub struct BackingStore {
     config: BackingStoreConfig,
     sizes: LogNormal,
     seed: u64,
+    /// Fault injector applied per lookup (chaos scenarios only).
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<Arc<dcperf_resilience::FaultPlan>>,
 }
 
 impl BackingStore {
@@ -75,7 +80,21 @@ impl BackingStore {
             config,
             sizes,
             seed,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
+    }
+
+    /// Attaches a [`dcperf_resilience::FaultPlan`] to every lookup
+    /// (builder style): injected latency is paid on top of the configured
+    /// lookup latency, and injected errors/overloads surface as lookup
+    /// misses — the database tier "lost" the object, forcing the caller's
+    /// slow path. Only compiled with the `fault-injection` feature.
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: Arc<dcperf_resilience::FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// The configuration in effect.
@@ -96,6 +115,12 @@ impl BackingStore {
     /// latency. Returns `None` for keys outside the configured population.
     pub fn lookup(&self, key: &[u8]) -> Option<Vec<u8>> {
         self.pay_latency();
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &self.fault_plan {
+            if plan.apply() != dcperf_resilience::FaultOutcome::Pass {
+                return None;
+            }
+        }
         let id = self.key_id(key);
         if self.config.population != u64::MAX {
             // Map the hash onto the population range; out-of-population
@@ -230,6 +255,40 @@ mod tests {
             "latency not enforced: {:?}",
             start.elapsed()
         );
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn fault_plan_injects_misses_and_latency() {
+        use dcperf_resilience::{FaultPlan, LatencyFault};
+        let plan = Arc::new(
+            FaultPlan::new(11)
+                .with_error_rate(0.5)
+                .with_latency(1.0, LatencyFault::Fixed(Duration::from_micros(200))),
+        );
+        let s = BackingStore::new(BackingStoreConfig::tao_like().without_latency(), 42)
+            .with_fault_plan(Arc::clone(&plan));
+        let start = Instant::now();
+        let misses = (0..200u32)
+            .filter(|i| s.lookup(&i.to_le_bytes()).is_none())
+            .count();
+        // ~50% of lookups fault into misses; every lookup pays 200us.
+        assert!((60..=140).contains(&misses), "misses={misses}");
+        assert!(start.elapsed() >= Duration::from_micros(200 * 150));
+        assert_eq!(plan.operations(), 200);
+        assert!(plan.injected_errors() > 0);
+        assert_eq!(plan.injected_latency_ops(), 200);
+        // The same plan seed faults the same operation indices.
+        let s2 = BackingStore::new(BackingStoreConfig::tao_like().without_latency(), 42)
+            .with_fault_plan(Arc::new(
+                FaultPlan::new(11)
+                    .with_error_rate(0.5)
+                    .with_latency(1.0, LatencyFault::Fixed(Duration::ZERO)),
+            ));
+        let misses2 = (0..200u32)
+            .filter(|i| s2.lookup(&i.to_le_bytes()).is_none())
+            .count();
+        assert_eq!(misses, misses2);
     }
 
     #[test]

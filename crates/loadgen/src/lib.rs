@@ -48,13 +48,66 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Classification of a failed [`Service`] call, routed to distinct
+/// [`LoadReport`] outcome counters so resilience scenarios can separate
+/// "the service broke" from "the deadline expired" from "a client-side
+/// guard refused to send".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceErrorKind {
+    /// Any other failure (application error, transport error, ...).
+    #[default]
+    Other,
+    /// The request's deadline expired before a useful reply arrived.
+    DeadlineExceeded,
+    /// A client-side guard (circuit breaker, retry budget) rejected the
+    /// call without issuing it.
+    Rejected,
+}
+
 /// An error returned by a [`Service`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ServiceError(pub String);
+pub struct ServiceError {
+    /// Outcome classification.
+    pub kind: ServiceErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// A plain failure ([`ServiceErrorKind::Other`]).
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            kind: ServiceErrorKind::Other,
+            message: message.into(),
+        }
+    }
+
+    /// A deadline-expired failure.
+    pub fn deadline_exceeded(message: impl Into<String>) -> Self {
+        Self {
+            kind: ServiceErrorKind::DeadlineExceeded,
+            message: message.into(),
+        }
+    }
+
+    /// A breaker/budget rejection.
+    pub fn rejected(message: impl Into<String>) -> Self {
+        Self {
+            kind: ServiceErrorKind::Rejected,
+            message: message.into(),
+        }
+    }
+}
 
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "service error: {}", self.0)
+        match self.kind {
+            ServiceErrorKind::Other => write!(f, "service error: {}", self.message),
+            ServiceErrorKind::DeadlineExceeded => {
+                write!(f, "deadline exceeded: {}", self.message)
+            }
+            ServiceErrorKind::Rejected => write!(f, "rejected: {}", self.message),
+        }
     }
 }
 
@@ -124,8 +177,12 @@ impl EndpointMix {
 pub struct LoadReport {
     /// Requests completed successfully.
     pub completed: u64,
-    /// Requests that returned an error.
+    /// Requests that failed with [`ServiceErrorKind::Other`].
     pub errors: u64,
+    /// Requests whose deadline expired ([`ServiceErrorKind::DeadlineExceeded`]).
+    pub deadline_exceeded: u64,
+    /// Requests rejected client-side ([`ServiceErrorKind::Rejected`]).
+    pub rejected: u64,
     /// Open-loop only: arrivals dropped because the queue was saturated.
     pub dropped: u64,
     /// Latency histogram in nanoseconds (service time for closed loop;
@@ -153,14 +210,23 @@ impl LoadReport {
         }
     }
 
-    /// Errors plus drops as a fraction of all attempted requests.
+    /// All failed outcomes (errors, expired deadlines, rejections, and
+    /// drops) as a fraction of attempted requests.
     pub fn error_rate(&self) -> f64 {
-        let attempted = self.completed + self.errors + self.dropped;
+        let failed = self.errors + self.deadline_exceeded + self.rejected + self.dropped;
+        let attempted = self.completed + failed;
         if attempted == 0 {
             0.0
         } else {
-            (self.errors + self.dropped) as f64 / attempted as f64
+            failed as f64 / attempted as f64
         }
+    }
+
+    /// Goodput: successful completions per second (alias of
+    /// [`LoadReport::throughput_rps`], named for chaos reports where the
+    /// offered load is higher than what completes).
+    pub fn goodput_rps(&self) -> f64 {
+        self.throughput_rps()
     }
 
     /// P95 latency in milliseconds.
@@ -178,6 +244,8 @@ struct RunRecorder {
     telemetry: Telemetry,
     completed: Arc<Counter>,
     errors: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    rejected: Arc<Counter>,
     dropped: Arc<Counter>,
     bytes: Arc<Counter>,
     latency: Arc<dcperf_telemetry::ConcurrentHistogram>,
@@ -193,6 +261,8 @@ impl RunRecorder {
         Self {
             completed: telemetry.counter("loadgen.completed"),
             errors: telemetry.counter("loadgen.errors"),
+            deadline_exceeded: telemetry.counter("loadgen.deadline_exceeded"),
+            rejected: telemetry.counter("loadgen.rejected"),
             dropped: telemetry.counter("loadgen.dropped"),
             bytes: telemetry.counter("loadgen.response_bytes"),
             latency: telemetry.histogram("loadgen.latency_ns"),
@@ -206,12 +276,22 @@ impl RunRecorder {
         }
     }
 
+    fn record_failure(&self, kind: ServiceErrorKind) {
+        match kind {
+            ServiceErrorKind::Other => self.errors.inc(),
+            ServiceErrorKind::DeadlineExceeded => self.deadline_exceeded.inc(),
+            ServiceErrorKind::Rejected => self.rejected.inc(),
+        }
+    }
+
     /// Freezes the run into a report. Call only after every worker has
     /// joined, so the histogram snapshot is exact.
     fn into_report(self, duration: Duration) -> LoadReport {
         LoadReport {
             completed: self.completed.get(),
             errors: self.errors.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            rejected: self.rejected.get(),
             dropped: self.dropped.get(),
             latency_ns: self.latency.snapshot(),
             duration,
@@ -306,8 +386,8 @@ impl ClosedLoop {
                             recorder.bytes.add(bytes as u64);
                             recorder.per_endpoint[endpoint].inc();
                         }
-                        Err(_) => {
-                            recorder.errors.inc();
+                        Err(e) => {
+                            recorder.record_failure(e.kind);
                         }
                     }
                 });
@@ -432,8 +512,8 @@ impl OpenLoop {
                                 recorder.bytes.add(bytes as u64);
                                 recorder.per_endpoint[endpoint].inc();
                             }
-                            Err(_) => {
-                                recorder.errors.inc();
+                            Err(e) => {
+                                recorder.record_failure(e.kind);
                             }
                         },
                         Err(RecvTimeoutError::Timeout) => {
@@ -557,7 +637,7 @@ mod tests {
     impl Service for Flaky {
         fn call(&self, _endpoint: usize, seq: u64) -> Result<usize, ServiceError> {
             if seq.is_multiple_of(4) {
-                Err(ServiceError("planned failure".into()))
+                Err(ServiceError::new("planned failure"))
             } else {
                 Ok(1)
             }
@@ -622,6 +702,50 @@ mod tests {
         assert!(report.error_rate() > 0.15 && report.error_rate() < 0.35);
     }
 
+    struct Classed;
+
+    impl Service for Classed {
+        fn call(&self, _endpoint: usize, seq: u64) -> Result<usize, ServiceError> {
+            match seq % 4 {
+                0 => Ok(1),
+                1 => Err(ServiceError::new("boom")),
+                2 => Err(ServiceError::deadline_exceeded("budget spent")),
+                _ => Err(ServiceError::rejected("breaker open")),
+            }
+        }
+    }
+
+    #[test]
+    fn failure_kinds_land_in_distinct_outcome_classes() {
+        let report = ClosedLoop::new(mix())
+            .workers(2)
+            .duration(Duration::from_secs(5))
+            .max_requests(400)
+            .run(&Classed, 7);
+        let attempted =
+            report.completed + report.errors + report.deadline_exceeded + report.rejected;
+        assert!(attempted >= 397, "attempted={attempted}"); // workers may cut the tail
+                                                            // Each class gets ~1/4 of the sequence numbers.
+        for (name, count) in [
+            ("completed", report.completed),
+            ("errors", report.errors),
+            ("deadline_exceeded", report.deadline_exceeded),
+            ("rejected", report.rejected),
+        ] {
+            assert!((80..=120).contains(&count), "{name}={count}");
+        }
+        assert!((report.error_rate() - 0.75).abs() < 0.05);
+        // The classes also surface as telemetry counters.
+        assert_eq!(
+            report.telemetry.counter("loadgen.deadline_exceeded"),
+            Some(report.deadline_exceeded)
+        );
+        assert_eq!(
+            report.telemetry.counter("loadgen.rejected"),
+            Some(report.rejected)
+        );
+    }
+
     #[test]
     fn open_loop_tracks_offered_rate() {
         let report = OpenLoop::new(mix(), 2000.0)
@@ -674,6 +798,8 @@ mod tests {
                 LoadReport {
                     completed: rate as u64,
                     errors: 0,
+                    deadline_exceeded: 0,
+                    rejected: 0,
                     dropped: 0,
                     latency_ns: hist,
                     duration: Duration::from_secs(1),
@@ -702,6 +828,8 @@ mod tests {
             |_rate| LoadReport {
                 completed: 0,
                 errors: 100,
+                deadline_exceeded: 0,
+                rejected: 0,
                 dropped: 0,
                 latency_ns: Histogram::new(),
                 duration: Duration::from_secs(1),

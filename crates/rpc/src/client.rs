@@ -7,6 +7,19 @@ use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Maps a joined thread's panic payload to a typed, non-retryable error
+/// carrying the panic message, so fan-out callers can distinguish a
+/// crashed worker from a disconnect.
+fn panic_to_error(payload: Box<dyn std::any::Any + Send>) -> RpcError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_owned());
+    RpcError::WorkerPanic(msg)
+}
 
 /// Converts a received response into the caller-facing result.
 fn response_to_result(resp: Response) -> Result<Response, RpcError> {
@@ -16,6 +29,7 @@ fn response_to_result(resp: Response) -> Result<Response, RpcError> {
             String::from_utf8_lossy(&resp.body).into_owned(),
         )),
         Status::Overloaded => Err(RpcError::Overloaded),
+        Status::DeadlineExceeded => Err(RpcError::DeadlineExceeded),
     }
 }
 
@@ -61,17 +75,13 @@ impl InProcClient {
         match rx.recv() {
             Ok(encoded) => {
                 let resp = Response::decode(&encoded)?;
-                self.core.stats.record_response(
-                    encoded.len(),
-                    resp.status == Status::Ok,
-                    resp.status == Status::Overloaded,
-                );
+                self.core.stats.record_response(encoded.len(), resp.status);
                 response_to_result(resp)
             }
             // The dispatch was shed (queue full) or the pool is gone; the
             // reply sender was dropped without sending.
             Err(_) => {
-                self.core.stats.record_response(0, false, true);
+                self.core.stats.record_response(0, Status::Overloaded);
                 Err(RpcError::Overloaded)
             }
         }
@@ -98,6 +108,41 @@ impl InProcClient {
         self.call_inner(self.build_request(method, body), false)
     }
 
+    /// As [`InProcClient::call`], with a deadline budget carried in the
+    /// request frame. The server sheds the request once the budget is
+    /// spent — before queueing, at dequeue, and at handler entry.
+    ///
+    /// # Errors
+    ///
+    /// As [`InProcClient::call`], plus [`RpcError::DeadlineExceeded`]
+    /// when the server shed the expired request.
+    pub fn call_with_deadline(
+        &self,
+        method: &str,
+        body: Vec<u8>,
+        budget: Duration,
+    ) -> Result<Response, RpcError> {
+        let req = self.build_request(method, body).with_deadline(budget);
+        self.call_inner(req, true)
+    }
+
+    /// As [`InProcClient::try_call`] (shed-on-full), with a deadline
+    /// budget carried in the request frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`InProcClient::try_call`], plus
+    /// [`RpcError::DeadlineExceeded`].
+    pub fn try_call_with_deadline(
+        &self,
+        method: &str,
+        body: Vec<u8>,
+        budget: Duration,
+    ) -> Result<Response, RpcError> {
+        let req = self.build_request(method, body).with_deadline(budget);
+        self.call_inner(req, false)
+    }
+
     /// Issues `calls` in parallel (one thread per call, scoped), modeling
     /// the RPC fan-out of production request trees.
     pub fn fanout(&self, calls: Vec<(String, Vec<u8>)>) -> FanoutResult {
@@ -110,7 +155,10 @@ impl InProcClient {
                 joins.push(scope.spawn(move || client.call(&method, body)));
             }
             for (slot, join) in results.iter_mut().zip(joins) {
-                *slot = Some(join.join().unwrap_or(Err(RpcError::Disconnected)));
+                // A panicking worker is a distinct, non-retryable failure:
+                // surface the panic payload instead of folding it into
+                // `Disconnected` (which retry policy would happily retry).
+                *slot = Some(join.join().unwrap_or_else(|p| Err(panic_to_error(p))));
             }
         });
         FanoutResult {
@@ -121,6 +169,13 @@ impl InProcClient {
     /// Shared transport counters.
     pub fn stats(&self) -> &RpcStats {
         &self.core.stats
+    }
+
+    /// The server's telemetry registry (shared with the server handle):
+    /// resilience wrappers register their counters here so one snapshot
+    /// covers transport, pool, and resilience activity.
+    pub fn telemetry(&self) -> &dcperf_telemetry::Telemetry {
+        &self.core.telemetry
     }
 }
 
@@ -149,6 +204,15 @@ impl FanoutResult {
             .filter_map(|r| r.as_ref().ok())
             .map(|r| r.body.len())
             .sum()
+    }
+}
+
+/// Maps transport I/O errors to typed RPC errors: read timeouts become
+/// [`RpcError::Timeout`] so retry policy can treat them distinctly.
+fn map_io(e: std::io::Error) -> RpcError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RpcError::Timeout,
+        _ => RpcError::Io(e),
     }
 }
 
@@ -192,19 +256,46 @@ impl TcpClient {
     ///
     /// Returns I/O, wire, application, or overload errors.
     pub fn call(&mut self, method: &str, body: Vec<u8>) -> Result<Response, RpcError> {
-        let mut req = Request::new(method, body);
+        self.call_request(Request::new(method, body))
+    }
+
+    /// Synchronous call carrying a deadline budget in the request frame.
+    /// The client also arms a matching socket read timeout, so a server
+    /// that never replies surfaces as [`RpcError::Timeout`] rather than a
+    /// hang.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::call`], plus [`RpcError::DeadlineExceeded`] (server
+    /// shed) and [`RpcError::Timeout`] (no reply within ~the budget).
+    pub fn call_with_deadline(
+        &mut self,
+        method: &str,
+        body: Vec<u8>,
+        budget: Duration,
+    ) -> Result<Response, RpcError> {
+        // Give the reply a grace window past the server-side budget so an
+        // in-flight shed response is read rather than raced.
+        let read_timeout = budget + budget / 2 + Duration::from_millis(50);
+        let _ = self.reader.get_ref().set_read_timeout(Some(read_timeout));
+        let result = self.call_request(Request::new(method, body).with_deadline(budget));
+        let _ = self.reader.get_ref().set_read_timeout(None);
+        result
+    }
+
+    fn call_request(&mut self, mut req: Request) -> Result<Response, RpcError> {
         req.seq = self.seq;
         self.seq += 1;
         let payload = req.encode();
         self.stats.record_request(payload.len());
-        write_frame(&mut self.writer, &payload)?;
-        let frame = read_frame(&mut self.reader)?.ok_or(RpcError::Disconnected)?;
+        write_frame(&mut self.writer, &payload).map_err(map_io)?;
+        let frame = match read_frame(&mut self.reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Err(RpcError::Disconnected),
+            Err(e) => return Err(map_io(e)),
+        };
         let resp = Response::decode(&frame)?;
-        self.stats.record_response(
-            frame.len(),
-            resp.status == Status::Ok,
-            resp.status == Status::Overloaded,
-        );
+        self.stats.record_response(frame.len(), resp.status);
         response_to_result(resp)
     }
 
@@ -237,6 +328,32 @@ mod tests {
             assert_eq!(r.as_ref().unwrap().body, vec![i as u8]);
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn fanout_surfaces_worker_panics_as_typed_errors() {
+        // The join-side mapping fan-out uses for a crashed worker thread:
+        // panic payloads (both &str and String) become WorkerPanic with
+        // the message preserved, and are never classified retryable.
+        let from_str = std::thread::spawn(|| panic!("worker exploded"))
+            .join()
+            .map_err(panic_to_error)
+            .unwrap_err();
+        match &from_str {
+            RpcError::WorkerPanic(msg) => assert!(msg.contains("worker exploded")),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert!(!from_str.is_retryable());
+
+        let boom = "formatted {}".to_owned();
+        let from_string = std::thread::spawn(move || std::panic::panic_any(boom))
+            .join()
+            .map_err(panic_to_error)
+            .unwrap_err();
+        match from_string {
+            RpcError::WorkerPanic(msg) => assert_eq!(msg, "formatted {}"),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,29 +21,50 @@ pub struct Request {
     pub method: String,
     /// Serialized argument payload.
     pub body: Vec<u8>,
+    /// Remaining deadline budget in microseconds; 0 means "no deadline".
+    ///
+    /// Deadlines travel as relative budgets (client and server share no
+    /// clock); the server pins the budget to an absolute expiry the
+    /// moment it decodes the frame, and sheds the request with
+    /// [`Status::DeadlineExceeded`] if it is still queued when the
+    /// budget runs out.
+    pub deadline_us: u64,
 }
 
 impl Request {
     /// Creates a request with sequence number 0 (transports assign real
-    /// ones).
+    /// ones) and no deadline.
     pub fn new(method: &str, body: Vec<u8>) -> Self {
         Self {
             seq: 0,
             method: method.to_owned(),
             body,
+            deadline_us: 0,
         }
+    }
+
+    /// Attaches a deadline budget (builder style). Sub-microsecond
+    /// budgets are rounded up so a nonzero budget stays nonzero on the
+    /// wire.
+    pub fn with_deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline_us = u64::try_from(budget.as_micros())
+            .unwrap_or(u64::MAX)
+            .max(u64::from(!budget.is_zero()));
+        self
     }
 
     /// Serializes the request payload (without the frame length prefix).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.method.len() + self.body.len());
+        let mut out = Vec::with_capacity(24 + self.method.len() + self.body.len());
         wire::write_uvarint(&mut out, self.seq);
         wire::write_str(&mut out, &self.method);
         wire::write_bytes(&mut out, &self.body);
+        wire::write_uvarint(&mut out, self.deadline_us);
         out
     }
 
-    /// Parses a request payload.
+    /// Parses a request payload. Frames from older encoders that lack
+    /// the trailing deadline field decode with no deadline.
     ///
     /// # Errors
     ///
@@ -53,7 +74,13 @@ impl Request {
         let seq = r.read_uvarint()?;
         let method = r.read_str()?.to_owned();
         let body = r.read_bytes()?.to_vec();
-        Ok(Self { seq, method, body })
+        let deadline_us = if r.is_empty() { 0 } else { r.read_uvarint()? };
+        Ok(Self {
+            seq,
+            method,
+            body,
+            deadline_us,
+        })
     }
 }
 
@@ -66,6 +93,9 @@ pub enum Status {
     Error,
     /// Server overloaded / queue full (used for SLO error accounting).
     Overloaded,
+    /// The request's deadline expired before (or while) it was served;
+    /// the work was shed instead of burning a worker.
+    DeadlineExceeded,
 }
 
 impl Status {
@@ -74,6 +104,7 @@ impl Status {
             Status::Ok => 0,
             Status::Error => 1,
             Status::Overloaded => 2,
+            Status::DeadlineExceeded => 3,
         }
     }
 
@@ -82,6 +113,7 @@ impl Status {
             0 => Ok(Status::Ok),
             1 => Ok(Status::Error),
             2 => Ok(Status::Overloaded),
+            3 => Ok(Status::DeadlineExceeded),
             other => Err(WireError::UnknownTag(other)),
         }
     }
@@ -122,6 +154,15 @@ impl Response {
         Self {
             seq: 0,
             status: Status::Overloaded,
+            body: Vec::new(),
+        }
+    }
+
+    /// A deadline-exceeded response (expired work shed).
+    pub fn deadline_exceeded() -> Self {
+        Self {
+            seq: 0,
+            status: Status::DeadlineExceeded,
             body: Vec::new(),
         }
     }
@@ -209,8 +250,39 @@ pub enum RpcError {
     Application(String),
     /// The server shed the request due to overload.
     Overloaded,
+    /// The request's deadline expired before it was served.
+    DeadlineExceeded,
+    /// The call timed out waiting on the transport.
+    Timeout,
+    /// A client-side circuit breaker rejected the call without sending.
+    CircuitOpen,
+    /// A fan-out worker thread panicked (the panic payload is carried so
+    /// the failure is not collapsed into a disconnect).
+    WorkerPanic(String),
     /// The server is shutting down or the channel is closed.
     Disconnected,
+}
+
+impl RpcError {
+    /// Whether a retry of the same call could plausibly succeed.
+    ///
+    /// Transient transport and load conditions (overload, timeout, I/O,
+    /// disconnect, expired deadline) are retryable; deterministic
+    /// failures (application errors, malformed frames, worker panics)
+    /// and breaker rejections (retrying defeats the breaker) are not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            RpcError::Io(_)
+            | RpcError::Overloaded
+            | RpcError::DeadlineExceeded
+            | RpcError::Timeout
+            | RpcError::Disconnected => true,
+            RpcError::Wire(_)
+            | RpcError::Application(_)
+            | RpcError::CircuitOpen
+            | RpcError::WorkerPanic(_) => false,
+        }
+    }
 }
 
 impl std::fmt::Display for RpcError {
@@ -220,6 +292,10 @@ impl std::fmt::Display for RpcError {
             RpcError::Wire(e) => write!(f, "rpc wire error: {e}"),
             RpcError::Application(m) => write!(f, "rpc application error: {m}"),
             RpcError::Overloaded => write!(f, "rpc request shed: server overloaded"),
+            RpcError::DeadlineExceeded => write!(f, "rpc deadline exceeded: expired work shed"),
+            RpcError::Timeout => write!(f, "rpc call timed out"),
+            RpcError::CircuitOpen => write!(f, "rpc call rejected: circuit breaker open"),
+            RpcError::WorkerPanic(m) => write!(f, "rpc fan-out worker panicked: {m}"),
             RpcError::Disconnected => write!(f, "rpc peer disconnected"),
         }
     }
@@ -260,11 +336,38 @@ mod tests {
     }
 
     #[test]
+    fn request_deadline_round_trips() {
+        let req = Request::new("get", vec![1]).with_deadline(std::time::Duration::from_millis(250));
+        assert_eq!(req.deadline_us, 250_000);
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(back.deadline_us, 250_000);
+    }
+
+    #[test]
+    fn tiny_nonzero_deadline_stays_nonzero_on_wire() {
+        let req = Request::new("get", vec![]).with_deadline(std::time::Duration::from_nanos(10));
+        assert_eq!(req.deadline_us, 1, "must not collapse to 'no deadline'");
+    }
+
+    #[test]
+    fn legacy_frame_without_deadline_decodes() {
+        // Re-create the pre-deadline encoding by hand.
+        let mut out = Vec::new();
+        crate::wire::write_uvarint(&mut out, 5);
+        crate::wire::write_str(&mut out, "get");
+        crate::wire::write_bytes(&mut out, b"key");
+        let req = Request::decode(&out).unwrap();
+        assert_eq!(req.seq, 5);
+        assert_eq!(req.deadline_us, 0);
+    }
+
+    #[test]
     fn response_round_trips_all_statuses() {
         for resp in [
             Response::ok(vec![9; 100]),
             Response::error("bad key"),
             Response::overloaded(),
+            Response::deadline_exceeded(),
         ] {
             let back = Response::decode(&resp.encode()).unwrap();
             assert_eq!(resp, back);
@@ -276,6 +379,20 @@ mod tests {
         assert!(Response::ok(vec![]).is_ok());
         assert!(!Response::error("x").is_ok());
         assert!(!Response::overloaded().is_ok());
+        assert!(!Response::deadline_exceeded().is_ok());
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(RpcError::Overloaded.is_retryable());
+        assert!(RpcError::Timeout.is_retryable());
+        assert!(RpcError::DeadlineExceeded.is_retryable());
+        assert!(RpcError::Disconnected.is_retryable());
+        assert!(RpcError::Io(std::io::Error::other("x")).is_retryable());
+        assert!(!RpcError::Application("nope".into()).is_retryable());
+        assert!(!RpcError::CircuitOpen.is_retryable());
+        assert!(!RpcError::WorkerPanic("boom".into()).is_retryable());
+        assert!(!RpcError::Wire(WireError::UnexpectedEof).is_retryable());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   mirroring TAO's separate thread pools for cache hits and misses.
 //! * [`server`] / [`client`] — in-process and TCP transports with
 //!   synchronous calls and parallel fan-out.
+//! * [`resilient`] — a client wrapper adding deadlines, retries with
+//!   deterministic backoff, retry budgets, and circuit breaking from
+//!   [`dcperf_resilience`].
 //!
 //! # Examples
 //!
@@ -41,6 +44,7 @@
 pub mod client;
 pub mod frame;
 pub mod pool;
+pub mod resilient;
 pub mod server;
 pub mod stats;
 pub mod value;
@@ -49,6 +53,7 @@ pub mod wire;
 pub use client::{FanoutResult, InProcClient, TcpClient};
 pub use frame::{Request, Response, RpcError, Status};
 pub use pool::{Lane, PoolConfig, ThreadPool};
+pub use resilient::{ResilientClient, ResilientTransport};
 pub use server::{InProcServer, TcpServer};
 pub use stats::RpcStats;
 pub use value::Value;

@@ -1,0 +1,421 @@
+//! A resilient client wrapper: retries with deterministic backoff, a
+//! retry budget against retry storms, a circuit breaker, and per-attempt
+//! deadlines.
+//!
+//! The wrapper composes the [`dcperf_resilience`] primitives around any
+//! transport that can issue a single attempt ([`ResilientTransport`]).
+//! All randomness (backoff jitter) derives from a caller-provided seed
+//! and a per-call counter, so two runs with the same seed produce the
+//! same retry schedule — chaos benchmarks stay reproducible.
+
+use crate::frame::{Response, RpcError};
+use dcperf_resilience::{BreakerConfig, CircuitBreaker, RetryBudget, RetryPolicy};
+use dcperf_telemetry::{Counter, Telemetry};
+use dcperf_util::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One attempt against the underlying transport.
+///
+/// `deadline` is the remaining per-attempt budget; implementations carry
+/// it in the request frame when the transport supports it.
+pub trait ResilientTransport {
+    /// Issues a single attempt (no retries at this layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport's typed [`RpcError`].
+    fn call_once(
+        &self,
+        method: &str,
+        body: Vec<u8>,
+        deadline: Option<Duration>,
+    ) -> Result<Response, RpcError>;
+}
+
+impl ResilientTransport for crate::client::InProcClient {
+    fn call_once(
+        &self,
+        method: &str,
+        body: Vec<u8>,
+        deadline: Option<Duration>,
+    ) -> Result<Response, RpcError> {
+        match deadline {
+            Some(budget) => self.call_with_deadline(method, body, budget),
+            None => self.call(method, body),
+        }
+    }
+}
+
+/// A [`TcpClient`](crate::client::TcpClient) is single-connection and
+/// `&mut`; wrap it in a mutex to present the shared-attempt interface.
+impl ResilientTransport for std::sync::Mutex<crate::client::TcpClient> {
+    fn call_once(
+        &self,
+        method: &str,
+        body: Vec<u8>,
+        deadline: Option<Duration>,
+    ) -> Result<Response, RpcError> {
+        let mut client = self.lock().unwrap_or_else(|e| e.into_inner());
+        match deadline {
+            Some(budget) => client.call_with_deadline(method, body, budget),
+            None => client.call(method, body),
+        }
+    }
+}
+
+/// Retries, budget, breaker, and deadlines around a transport.
+///
+/// Failure handling per attempt:
+///
+/// * breaker open → [`RpcError::CircuitOpen`] without touching the wire;
+/// * retryable errors (overload, timeout, I/O, expired deadline,
+///   disconnect) consume a retry-budget token and back off;
+/// * non-retryable errors (application errors, worker panics, malformed
+///   frames) return immediately;
+/// * transport-level failures count against the breaker; application
+///   errors count as breaker successes (the service *answered*).
+pub struct ResilientClient<C> {
+    inner: C,
+    policy: RetryPolicy,
+    budget: Arc<RetryBudget>,
+    breaker: Arc<CircuitBreaker>,
+    attempt_deadline: Option<Duration>,
+    seed: u64,
+    calls: AtomicU64,
+    retries: Arc<Counter>,
+    budget_exhausted: Arc<Counter>,
+}
+
+impl<C> std::fmt::Debug for ResilientClient<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientClient")
+            .field("policy", &self.policy)
+            .field("breaker_state", &self.breaker.state())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<C: ResilientTransport> ResilientClient<C> {
+    /// Wraps `inner` with `policy`, registering resilience counters
+    /// (`rpc.resilient.*`, `rpc.breaker.*`) in `telemetry`.
+    ///
+    /// Defaults: unlimited retry budget, default [`BreakerConfig`], no
+    /// per-attempt deadline, seed `0`.
+    pub fn new(inner: C, policy: RetryPolicy, telemetry: &Telemetry) -> Self {
+        Self {
+            inner,
+            policy,
+            budget: Arc::new(RetryBudget::unlimited()),
+            breaker: Arc::new(CircuitBreaker::with_telemetry(
+                BreakerConfig::default(),
+                telemetry,
+                "rpc.breaker",
+            )),
+            attempt_deadline: None,
+            seed: 0,
+            calls: AtomicU64::new(0),
+            retries: telemetry.counter("rpc.resilient.retries"),
+            budget_exhausted: telemetry.counter("rpc.resilient.budget_exhausted"),
+        }
+    }
+
+    /// Replaces the retry budget (shared across clones via `Arc`).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the circuit breaker (share one `Arc` across the clients
+    /// that target the same backend so they trip together).
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Sets the per-attempt deadline carried in each request frame.
+    #[must_use]
+    pub fn with_attempt_deadline(mut self, budget: Duration) -> Self {
+        self.attempt_deadline = Some(budget);
+        self
+    }
+
+    /// Sets the jitter seed; backoff schedules derive from
+    /// `(seed, call index)` only.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Calls `method`, retrying per the policy.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error, or [`RpcError::CircuitOpen`] if the
+    /// breaker rejected the call.
+    pub fn call(&self, method: &str, body: Vec<u8>) -> Result<Response, RpcError> {
+        let call_index = self.calls.fetch_add(1, Ordering::Relaxed);
+        let attempt_seed = self.seed ^ SplitMix64::mix(call_index.wrapping_add(1));
+        let mut delays = self.policy.schedule(attempt_seed);
+        // Each logical call deposits into the shared retry budget; only
+        // retries spend, so sustained failure caps the retry ratio.
+        self.budget.deposit();
+        loop {
+            if !self.breaker.allow() {
+                return Err(RpcError::CircuitOpen);
+            }
+            match self
+                .inner
+                .call_once(method, body.clone(), self.attempt_deadline)
+            {
+                Ok(resp) => {
+                    self.breaker.record_success();
+                    return Ok(resp);
+                }
+                Err(err) => {
+                    if counts_as_breaker_failure(&err) {
+                        self.breaker.record_failure();
+                    } else {
+                        self.breaker.record_success();
+                    }
+                    if !err.is_retryable() {
+                        return Err(err);
+                    }
+                    let Some(delay) = delays.next() else {
+                        return Err(err);
+                    };
+                    if !self.budget.try_spend() {
+                        self.budget_exhausted.inc();
+                        return Err(err);
+                    }
+                    self.retries.inc();
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retries issued across all calls.
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Calls abandoned because the retry budget was empty.
+    pub fn budget_exhausted(&self) -> u64 {
+        self.budget_exhausted.get()
+    }
+
+    /// The breaker guarding this client.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+/// Whether an error reflects the *backend's* health (trips the breaker)
+/// as opposed to a well-formed answer the application disliked.
+fn counts_as_breaker_failure(err: &RpcError) -> bool {
+    match err {
+        RpcError::Io(_)
+        | RpcError::Overloaded
+        | RpcError::DeadlineExceeded
+        | RpcError::Timeout
+        | RpcError::Disconnected
+        | RpcError::WorkerPanic(_) => true,
+        RpcError::Application(_) | RpcError::Wire(_) | RpcError::CircuitOpen => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Request, Status};
+    use crate::pool::PoolConfig;
+    use crate::server::InProcServer;
+    use std::sync::Mutex;
+
+    /// A scripted transport: pops the next outcome per attempt.
+    struct Scripted {
+        outcomes: Mutex<Vec<Result<Response, RpcError>>>,
+        attempts: AtomicU64,
+    }
+
+    impl Scripted {
+        fn new(mut outcomes: Vec<Result<Response, RpcError>>) -> Self {
+            outcomes.reverse();
+            Self {
+                outcomes: Mutex::new(outcomes),
+                attempts: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl ResilientTransport for Scripted {
+        fn call_once(
+            &self,
+            _method: &str,
+            _body: Vec<u8>,
+            _deadline: Option<Duration>,
+        ) -> Result<Response, RpcError> {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            self.outcomes
+                .lock()
+                .unwrap()
+                .pop()
+                .unwrap_or(Err(RpcError::Disconnected))
+        }
+    }
+
+    fn fast_policy(attempts: u32) -> RetryPolicy {
+        RetryPolicy::new(attempts, Duration::from_micros(10))
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let telemetry = Telemetry::new();
+        let transport = Scripted::new(vec![
+            Err(RpcError::Overloaded),
+            Err(RpcError::Timeout),
+            Ok(Response::ok(vec![9])),
+        ]);
+        let client = ResilientClient::new(transport, fast_policy(4), &telemetry);
+        let resp = client.call("m", vec![]).unwrap();
+        assert_eq!(resp.body, vec![9]);
+        assert_eq!(client.retries(), 2);
+        assert_eq!(client.inner().attempts.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast() {
+        let telemetry = Telemetry::new();
+        let transport = Scripted::new(vec![
+            Err(RpcError::Application("bad key".into())),
+            Ok(Response::ok(vec![])),
+        ]);
+        let client = ResilientClient::new(transport, fast_policy(4), &telemetry);
+        match client.call("m", vec![]) {
+            Err(RpcError::Application(m)) => assert_eq!(m, "bad key"),
+            other => panic!("expected fail-fast application error, got {other:?}"),
+        }
+        assert_eq!(client.retries(), 0);
+    }
+
+    #[test]
+    fn exhausted_attempts_return_last_error() {
+        let telemetry = Telemetry::new();
+        let transport = Scripted::new(vec![
+            Err(RpcError::Timeout),
+            Err(RpcError::Timeout),
+            Err(RpcError::Overloaded),
+        ]);
+        let client = ResilientClient::new(transport, fast_policy(3), &telemetry);
+        match client.call("m", vec![]) {
+            Err(RpcError::Overloaded) => {}
+            other => panic!("expected last error, got {other:?}"),
+        }
+        assert_eq!(client.retries(), 2);
+    }
+
+    #[test]
+    fn empty_retry_budget_blocks_retries() {
+        let telemetry = Telemetry::new();
+        let transport = Scripted::new(vec![Err(RpcError::Timeout), Ok(Response::ok(vec![]))]);
+        // deposit_ratio 0: the budget never refills, and it starts full —
+        // drain it first so the retry has no token.
+        let budget = Arc::new(RetryBudget::new(1, 0.0));
+        assert!(budget.try_spend());
+        let client =
+            ResilientClient::new(transport, fast_policy(4), &telemetry).with_budget(budget);
+        match client.call("m", vec![]) {
+            Err(RpcError::Timeout) => {}
+            other => panic!("expected budget-blocked timeout, got {other:?}"),
+        }
+        assert_eq!(client.budget_exhausted(), 1);
+        assert_eq!(client.retries(), 0);
+    }
+
+    #[test]
+    fn open_breaker_rejects_without_touching_transport() {
+        let telemetry = Telemetry::new();
+        let transport = Scripted::new(vec![]);
+        let config = BreakerConfig {
+            min_calls: 1,
+            cooldown: Duration::from_secs(3600),
+            ..BreakerConfig::default()
+        };
+        let breaker = Arc::new(CircuitBreaker::with_telemetry(
+            config,
+            &telemetry,
+            "rpc.breaker",
+        ));
+        breaker.record_failure(); // trips at min_calls=1
+        let client = ResilientClient::new(transport, RetryPolicy::no_retries(), &telemetry)
+            .with_breaker(Arc::clone(&breaker));
+        match client.call("m", vec![]) {
+            Err(RpcError::CircuitOpen) => {}
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+        assert_eq!(client.inner().attempts.load(Ordering::Relaxed), 0);
+        assert_eq!(breaker.rejected(), 1);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("rpc.breaker.open_transitions"), Some(1));
+        assert_eq!(snap.counter("rpc.breaker.rejected"), Some(1));
+    }
+
+    #[test]
+    fn repeated_transport_failures_trip_the_breaker() {
+        let telemetry = Telemetry::new();
+        let outcomes: Vec<Result<Response, RpcError>> =
+            (0..32).map(|_| Err(RpcError::Timeout)).collect();
+        let transport = Scripted::new(outcomes);
+        let config = BreakerConfig {
+            min_calls: 4,
+            cooldown: Duration::from_secs(3600),
+            ..BreakerConfig::default()
+        };
+        let breaker = Arc::new(CircuitBreaker::with_telemetry(
+            config,
+            &telemetry,
+            "rpc.breaker",
+        ));
+        let client = ResilientClient::new(transport, RetryPolicy::no_retries(), &telemetry)
+            .with_breaker(Arc::clone(&breaker));
+        let mut saw_circuit_open = false;
+        for _ in 0..8 {
+            if matches!(client.call("m", vec![]), Err(RpcError::CircuitOpen)) {
+                saw_circuit_open = true;
+                break;
+            }
+        }
+        assert!(saw_circuit_open, "breaker never opened");
+        assert_eq!(breaker.open_transitions(), 1);
+    }
+
+    #[test]
+    fn wraps_a_real_inproc_server() {
+        let server = InProcServer::start(
+            |req: &Request| Response::ok(req.body.clone()),
+            PoolConfig::single_lane(2),
+        );
+        let inproc = server.client();
+        let telemetry_snapshot_source = inproc.telemetry().clone();
+        let client =
+            ResilientClient::new(server.client(), fast_policy(3), &telemetry_snapshot_source)
+                .with_attempt_deadline(Duration::from_secs(5));
+        let resp = client.call("echo", vec![1, 2]).unwrap();
+        assert_eq!(resp.body, vec![1, 2]);
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(client.retries(), 0);
+        server.shutdown();
+    }
+}

@@ -10,6 +10,7 @@
 use crate::frame::{read_frame, write_frame, Request, Response};
 use crate::pool::{Lane, PoolConfig, SpawnError, ThreadPool};
 use crate::stats::RpcStats;
+use dcperf_resilience::Deadline;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,6 +28,16 @@ pub(crate) struct ServerCore {
     pub(crate) pool: ThreadPool,
     pub(crate) stats: Arc<RpcStats>,
     pub(crate) telemetry: dcperf_telemetry::Telemetry,
+    /// Fault injector applied on the dispatch path (chaos scenarios only).
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fault_plan: Mutex<Option<Arc<dcperf_resilience::FaultPlan>>>,
+}
+
+/// Builds the shed response for a request whose deadline has expired.
+fn expired_response(seq: u64) -> Response {
+    let mut resp = Response::deadline_exceeded();
+    resp.seq = seq;
+    resp
 }
 
 impl ServerCore {
@@ -40,6 +51,15 @@ impl ServerCore {
             pool: ThreadPool::with_telemetry(config, &telemetry),
             stats: Arc::new(RpcStats::with_telemetry(&telemetry, "rpc")),
             telemetry,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: Mutex::new(None),
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fn install_fault_plan(&self, plan: Option<Arc<dcperf_resilience::FaultPlan>>) {
+        if let Ok(mut slot) = self.fault_plan.lock() {
+            *slot = plan;
         }
     }
 
@@ -52,10 +72,55 @@ impl ServerCore {
         blocking: bool,
         reply: impl FnOnce(Response) + Send + 'static,
     ) {
+        // Pin the wire budget (relative microseconds) to an absolute
+        // instant the moment the request enters the server.
+        let deadline = (req.deadline_us > 0).then(|| Deadline::from_budget_us(req.deadline_us));
+        let seq = req.seq;
+        // Shed already-expired work before it consumes queue space.
+        if deadline.is_some_and(|d| d.expired()) {
+            self.stats.record_deadline_shed();
+            reply(expired_response(seq));
+            return;
+        }
         let lane = (self.classifier)(&req);
         let handler = Arc::clone(&self.handler);
-        let seq = req.seq;
+        let stats = Arc::clone(&self.stats);
+        #[cfg(feature = "fault-injection")]
+        let plan = self.fault_plan.lock().ok().and_then(|slot| slot.clone());
         let job = move || {
+            // Re-check at dequeue / handler entry: queueing delay may have
+            // consumed the whole budget, and a reply the client already
+            // gave up on is pure waste.
+            if deadline.is_some_and(|d| d.expired()) {
+                stats.record_deadline_shed();
+                reply(expired_response(seq));
+                return;
+            }
+            #[cfg(feature = "fault-injection")]
+            if let Some(plan) = &plan {
+                use dcperf_resilience::FaultOutcome;
+                match plan.apply() {
+                    FaultOutcome::Pass => {}
+                    FaultOutcome::Error => {
+                        let mut resp = Response::error("injected fault");
+                        resp.seq = seq;
+                        reply(resp);
+                        return;
+                    }
+                    FaultOutcome::Overload => {
+                        let mut resp = Response::overloaded();
+                        resp.seq = seq;
+                        reply(resp);
+                        return;
+                    }
+                }
+                // Injected latency may have burned the remaining budget.
+                if deadline.is_some_and(|d| d.expired()) {
+                    stats.record_deadline_shed();
+                    reply(expired_response(seq));
+                    return;
+                }
+            }
             let mut resp = handler(&req);
             resp.seq = seq;
             reply(resp);
@@ -134,6 +199,16 @@ impl InProcServer {
     /// server recorded.
     pub fn telemetry(&self) -> &dcperf_telemetry::Telemetry {
         &self.core.telemetry
+    }
+
+    /// Installs (or clears, with `None`) a [`dcperf_resilience::FaultPlan`]
+    /// applied to every dispatched request: injected latency is paid on
+    /// the worker thread, injected errors and overloads short-circuit the
+    /// handler. Only compiled with the `fault-injection` feature, so the
+    /// default hot path carries no injector branch.
+    #[cfg(feature = "fault-injection")]
+    pub fn install_fault_plan(&self, plan: Option<Arc<dcperf_resilience::FaultPlan>>) {
+        self.core.install_fault_plan(plan);
     }
 
     /// Shuts the pool down, draining queued requests.
@@ -281,6 +356,13 @@ impl TcpServer {
         &self.core.telemetry
     }
 
+    /// Installs (or clears) a fault plan on the dispatch path; see
+    /// [`InProcServer::install_fault_plan`].
+    #[cfg(feature = "fault-injection")]
+    pub fn install_fault_plan(&self, plan: Option<Arc<dcperf_resilience::FaultPlan>>) {
+        self.core.install_fault_plan(plan);
+    }
+
     /// Stops accepting, closes the pool, and joins server threads.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -414,6 +496,61 @@ mod tests {
         let mut client = TcpClient::connect(server.local_addr()).unwrap();
         let err = client.call("x", vec![]).unwrap_err();
         assert!(err.to_string().contains("nope"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_with_status() {
+        // A handler that must never run for an already-expired request.
+        let ran = Arc::new(AtomicBool::new(false));
+        let ran2 = Arc::clone(&ran);
+        let server = InProcServer::start(
+            move |_req: &Request| {
+                ran2.store(true, Ordering::Relaxed);
+                Response::ok(vec![])
+            },
+            PoolConfig::single_lane(1),
+        );
+        let client = server.client();
+        // 1us budget: expired by the time dispatch sees it (encode +
+        // decode alone take longer).
+        let err = client
+            .call_with_deadline("x", vec![], std::time::Duration::from_micros(1))
+            .unwrap_err();
+        assert!(matches!(err, crate::frame::RpcError::DeadlineExceeded));
+        assert!(!ran.load(Ordering::Relaxed), "expired work must not run");
+        assert_eq!(server.stats().deadline_shed(), 1);
+        assert_eq!(server.stats().deadline_exceeded(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn generous_deadline_completes_normally() {
+        let server = InProcServer::start(echo, PoolConfig::single_lane(2));
+        let client = server.client();
+        let resp = client
+            .call_with_deadline("echo", vec![7], std::time::Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.body, vec![7]);
+        assert_eq!(server.stats().deadline_shed(), 0);
+        server.shutdown();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn installed_fault_plan_injects_errors() {
+        use dcperf_resilience::FaultPlan;
+        let server = InProcServer::start(echo, PoolConfig::single_lane(2));
+        // error_rate 1.0: every request fails by injection.
+        let plan = Arc::new(FaultPlan::new(7).with_error_rate(1.0));
+        server.install_fault_plan(Some(Arc::clone(&plan)));
+        let client = server.client();
+        let err = client.call("echo", vec![1]).unwrap_err();
+        assert!(matches!(err, crate::frame::RpcError::Application(_)));
+        assert_eq!(plan.injected_errors(), 1);
+        // Clearing the plan restores normal service.
+        server.install_fault_plan(None);
+        assert!(client.call("echo", vec![2]).is_ok());
         server.shutdown();
     }
 

@@ -1,6 +1,7 @@
 //! Transport-level counters, recorded through the unified telemetry
 //! layer.
 
+use crate::frame::Status;
 use dcperf_telemetry::{Counter, Telemetry};
 use std::sync::Arc;
 
@@ -16,6 +17,8 @@ pub struct RpcStats {
     responses: Arc<Counter>,
     errors: Arc<Counter>,
     shed: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    deadline_shed: Arc<Counter>,
     bytes_sent: Arc<Counter>,
     bytes_received: Arc<Counter>,
 }
@@ -33,6 +36,8 @@ impl RpcStats {
             responses: telemetry.counter(&format!("{prefix}.responses")),
             errors: telemetry.counter(&format!("{prefix}.errors")),
             shed: telemetry.counter(&format!("{prefix}.shed")),
+            deadline_exceeded: telemetry.counter(&format!("{prefix}.deadline_exceeded")),
+            deadline_shed: telemetry.counter(&format!("{prefix}.deadline_shed")),
             bytes_sent: telemetry.counter(&format!("{prefix}.bytes_sent")),
             bytes_received: telemetry.counter(&format!("{prefix}.bytes_received")),
         }
@@ -43,14 +48,22 @@ impl RpcStats {
         self.bytes_sent.add(bytes as u64);
     }
 
-    pub(crate) fn record_response(&self, bytes: usize, ok: bool, overloaded: bool) {
+    pub(crate) fn record_response(&self, bytes: usize, status: Status) {
         self.responses.inc();
         self.bytes_received.add(bytes as u64);
-        if overloaded {
-            self.shed.inc();
-        } else if !ok {
-            self.errors.inc();
+        match status {
+            Status::Ok => {}
+            Status::Error => self.errors.inc(),
+            Status::Overloaded => self.shed.inc(),
+            Status::DeadlineExceeded => self.deadline_exceeded.inc(),
         }
+    }
+
+    /// Counts a request the server shed because its deadline had already
+    /// expired at dequeue or handler entry (server-side view; the
+    /// client-side view is [`RpcStats::deadline_exceeded`]).
+    pub(crate) fn record_deadline_shed(&self) {
+        self.deadline_shed.inc();
     }
 
     /// Requests sent.
@@ -73,6 +86,16 @@ impl RpcStats {
         self.shed.get()
     }
 
+    /// Deadline-exceeded responses received.
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.get()
+    }
+
+    /// Requests shed server-side because their deadline expired.
+    pub fn deadline_shed(&self) -> u64 {
+        self.deadline_shed.get()
+    }
+
     /// Request bytes sent (payload, pre-framing).
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent.get()
@@ -89,7 +112,7 @@ impl RpcStats {
         if responses == 0 {
             0.0
         } else {
-            (self.errors() + self.shed()) as f64 / responses as f64
+            (self.errors() + self.shed() + self.deadline_exceeded()) as f64 / responses as f64
         }
     }
 }
@@ -109,16 +132,20 @@ mod tests {
         let s = RpcStats::new();
         s.record_request(100);
         s.record_request(50);
-        s.record_response(10, true, false);
-        s.record_response(0, false, true);
-        s.record_response(5, false, false);
+        s.record_response(10, Status::Ok);
+        s.record_response(0, Status::Overloaded);
+        s.record_response(5, Status::Error);
+        s.record_response(0, Status::DeadlineExceeded);
+        s.record_deadline_shed();
         assert_eq!(s.requests(), 2);
-        assert_eq!(s.responses(), 3);
+        assert_eq!(s.responses(), 4);
         assert_eq!(s.errors(), 1);
         assert_eq!(s.shed(), 1);
+        assert_eq!(s.deadline_exceeded(), 1);
+        assert_eq!(s.deadline_shed(), 1);
         assert_eq!(s.bytes_sent(), 150);
         assert_eq!(s.bytes_received(), 15);
-        assert!((s.error_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.error_rate() - 3.0 / 4.0).abs() < 1e-12);
     }
 
     #[test]
@@ -131,7 +158,7 @@ mod tests {
         let telemetry = Telemetry::new();
         let s = RpcStats::with_telemetry(&telemetry, "rpc");
         s.record_request(32);
-        s.record_response(8, true, false);
+        s.record_response(8, Status::Ok);
         let snap = telemetry.snapshot();
         assert_eq!(snap.counter("rpc.requests"), Some(1));
         assert_eq!(snap.counter("rpc.responses"), Some(1));

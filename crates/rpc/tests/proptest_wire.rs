@@ -47,8 +47,9 @@ proptest! {
         seq in any::<u64>(),
         method in "[a-z_]{1,24}",
         body in proptest::collection::vec(any::<u8>(), 0..256),
+        deadline_us in any::<u64>(),
     ) {
-        let req = Request { seq, method, body };
+        let req = Request { seq, method, body, deadline_us };
         prop_assert_eq!(Request::decode(&req.encode()).expect("decodes"), req);
     }
 
@@ -56,11 +57,12 @@ proptest! {
     fn responses_round_trip(
         seq in any::<u64>(),
         body in proptest::collection::vec(any::<u8>(), 0..256),
-        kind in 0u8..3,
+        kind in 0u8..4,
     ) {
         let mut resp = match kind {
             0 => Response::ok(body),
             1 => Response::error(&String::from_utf8_lossy(&body)),
+            2 => Response::deadline_exceeded(),
             _ => Response::overloaded(),
         };
         resp.seq = seq;

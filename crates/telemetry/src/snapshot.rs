@@ -83,6 +83,33 @@ impl TelemetrySnapshot {
     pub fn phase(&self, benchmark: &str, phase: crate::Phase) -> Option<PhaseSummary> {
         self.phases.get(&format!("{benchmark}/{phase}")).copied()
     }
+
+    /// Folds `other` into `self`: counters and gauges add, phase timings
+    /// accumulate, and histogram digests transfer only for names `self`
+    /// lacks (percentile digests cannot be re-merged; the earlier digest
+    /// wins on collision).
+    ///
+    /// Chaos scenarios use this to combine the server registry's `rpc.*`
+    /// counters with the load generator's `loadgen.*` counters into one
+    /// reportable snapshot.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, digest) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_insert_with(|| digest.clone());
+        }
+        for (name, summary) in &other.phases {
+            let entry = self.phases.entry(name.clone()).or_default();
+            entry.calls += summary.calls;
+            entry.total_ns += summary.total_ns;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +158,67 @@ mod tests {
         let json = serde_json::to_string_pretty(&snap).unwrap();
         let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_keeps_first_digest() {
+        let mut a = TelemetrySnapshot::new();
+        a.counters.insert("rpc.requests".into(), 10);
+        a.gauges.insert("in_flight".into(), 3);
+        a.histograms.insert(
+            "lat".into(),
+            HistogramSummary {
+                count: 1,
+                min: 1,
+                max: 1,
+                mean: 1.0,
+                p50: 1,
+                p95: 1,
+                p99: 1,
+                p999: 1,
+            },
+        );
+        a.phases.insert(
+            "x/measure".into(),
+            PhaseSummary {
+                calls: 1,
+                total_ns: 100,
+            },
+        );
+
+        let mut b = TelemetrySnapshot::new();
+        b.counters.insert("rpc.requests".into(), 5);
+        b.counters.insert("loadgen.retries".into(), 2);
+        b.gauges.insert("in_flight".into(), -1);
+        b.histograms.insert(
+            "lat".into(),
+            HistogramSummary {
+                count: 99,
+                min: 9,
+                max: 9,
+                mean: 9.0,
+                p50: 9,
+                p95: 9,
+                p99: 9,
+                p999: 9,
+            },
+        );
+        b.phases.insert(
+            "x/measure".into(),
+            PhaseSummary {
+                calls: 2,
+                total_ns: 50,
+            },
+        );
+
+        a.merge(&b);
+        assert_eq!(a.counter("rpc.requests"), Some(15));
+        assert_eq!(a.counter("loadgen.retries"), Some(2));
+        assert_eq!(a.gauges["in_flight"], 2);
+        assert_eq!(a.histogram("lat").unwrap().count, 1, "first digest wins");
+        let phase = a.phases["x/measure"];
+        assert_eq!(phase.calls, 3);
+        assert_eq!(phase.total_ns, 150);
     }
 
     #[test]

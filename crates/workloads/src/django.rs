@@ -73,7 +73,7 @@ impl DjangoBench {
     }
 }
 
-struct DjangoApp {
+pub(crate) struct DjangoApp {
     workers: Vec<Mutex<WorkerState>>,
     cache: Cache,
     users_per_worker: u64,
@@ -82,6 +82,47 @@ struct DjangoApp {
 }
 
 impl DjangoApp {
+    /// Builds a standalone app instance (workers populated, private
+    /// cache); used by the benchmark run and by the chaos scenarios.
+    pub(crate) fn build(
+        config: &DjangoBenchConfig,
+        threads: usize,
+        users_per_worker: u64,
+        seed: u64,
+    ) -> Result<Self, Error> {
+        let workers: Vec<Mutex<WorkerState>> = (0..threads)
+            .map(|w| {
+                let mut store = WideRowStore::new();
+                store.populate(
+                    users_per_worker,
+                    config.columns_per_user,
+                    seed ^ (w as u64) << 40,
+                );
+                Mutex::new(WorkerState {
+                    store,
+                    seen_writes: 0,
+                })
+            })
+            .collect();
+        Ok(Self {
+            workers,
+            cache: Cache::new(CacheConfig::with_capacity_bytes(64 << 20).with_shards(threads * 2)),
+            users_per_worker,
+            zipf: Zipf::new(users_per_worker * threads as u64, config.zipf_exponent)
+                .map_err(|e| Error::Config(e.to_string()))?,
+            seed,
+        })
+    }
+
+    /// The production endpoint mix (`feed`, `timeline`, `seen`, `inbox`).
+    pub(crate) fn endpoint_mix() -> Result<EndpointMix, Error> {
+        EndpointMix::new(
+            &["feed", "timeline", "seen", "inbox"],
+            &[0.45, 0.25, 0.20, 0.10],
+        )
+        .map_err(|e| Error::Config(e.to_string()))
+    }
+
     fn user_for(&self, seq: u64) -> (usize, u64) {
         let mut rng = SplitMix64::new(self.seed ^ seq.wrapping_mul(0xBF58_476D_1CE4_E5B9));
         let global = SplitMix64::mix(self.zipf.sample(&mut rng))
@@ -121,7 +162,7 @@ impl DjangoApp {
         });
         rendered
             .map(|body| body.len())
-            .ok_or_else(|| ServiceError("feed: unknown user".into()))
+            .ok_or_else(|| ServiceError::new("feed: unknown user"))
     }
 
     /// `timeline`: uncached range scan deeper into the partition.
@@ -216,39 +257,15 @@ impl Benchmark for DjangoBench {
 
         // One share-nothing worker per logical core, as UWSGI spawns one
         // process per core.
-        let workers: Vec<Mutex<WorkerState>> = (0..threads)
-            .map(|w| {
-                let mut store = WideRowStore::new();
-                store.populate(
-                    users_per_worker,
-                    self.config.columns_per_user,
-                    seed ^ (w as u64) << 40,
-                );
-                Mutex::new(WorkerState {
-                    store,
-                    seen_writes: 0,
-                })
-            })
-            .collect();
-
-        let app = DjangoApp {
-            workers,
-            cache: Cache::with_telemetry(
-                CacheConfig::with_capacity_bytes(64 << 20).with_shards(threads * 2),
-                ctx.telemetry(),
-            ),
-            users_per_worker,
-            zipf: Zipf::new(users_per_worker * threads as u64, self.config.zipf_exponent)
-                .map_err(|e| Error::Config(e.to_string()))?,
-            seed,
-        };
+        let mut app = DjangoApp::build(&self.config, threads, users_per_worker, seed)?;
+        // The benchmark run records cache traffic onto the run registry.
+        app.cache = Cache::with_telemetry(
+            CacheConfig::with_capacity_bytes(64 << 20).with_shards(threads * 2),
+            ctx.telemetry(),
+        );
 
         // The production endpoint mix.
-        let mix = EndpointMix::new(
-            &["feed", "timeline", "seen", "inbox"],
-            &[0.45, 0.25, 0.20, 0.10],
-        )
-        .map_err(|e| Error::Config(e.to_string()))?;
+        let mix = DjangoApp::endpoint_mix()?;
 
         let duration = self.config.base_duration * scale.min(16) as u32;
         let load = ClosedLoop::new(mix)

@@ -185,15 +185,15 @@ impl Aggregator {
             for join in joins {
                 let resp = join
                     .join()
-                    .map_err(|_| ServiceError("leaf thread panicked".into()))?
-                    .map_err(|e| ServiceError(e.to_string()))?;
+                    .map_err(|_| ServiceError::new("leaf thread panicked"))?
+                    .map_err(|e| ServiceError::new(e.to_string()))?;
                 // Leaf responses are length-prefixed story payloads.
                 let mut rest = resp.body.as_slice();
                 while rest.len() >= 4 {
                     let len = u32::from_le_bytes(rest[..4].try_into().expect("4")) as usize;
                     rest = &rest[4..];
                     if len > rest.len() {
-                        return Err(ServiceError("truncated leaf response".into()));
+                        return Err(ServiceError::new("truncated leaf response"));
                     }
                     payloads.push(rest[..len].to_vec());
                     rest = &rest[len..];
@@ -205,8 +205,8 @@ impl Aggregator {
         // 3. Feature extraction + ranking.
         let mut scored: Vec<(f32, &Vec<u8>)> = Vec::with_capacity(payloads.len());
         for payload in &payloads {
-            let features = extract_features(payload)
-                .ok_or_else(|| ServiceError("undecodable story".into()))?;
+            let features =
+                extract_features(payload).ok_or_else(|| ServiceError::new("undecodable story"))?;
             let mut dot = 0f32;
             for (f, w) in features.iter().zip(self.weights.iter()) {
                 dot += f * w;

@@ -20,6 +20,9 @@
 //! * [`cloudsuite`] — runnable minis reproducing the Figure 13
 //!   scalability pathologies of CloudSuite.
 //! * [`kernelsim`] — the §5.3 kernel-counter contention demonstration.
+//! * `chaos` (feature `fault-injection`) — SLO-under-chaos scenarios:
+//!   TaoBench and DjangoBench under deterministic fault plans with the
+//!   resilience layer (deadlines, retries, circuit breaking) active.
 //!
 //! [`register_all`] wires every benchmark plus the baseline table into a
 //! [`Suite`], after which `suite.run_all(&config)` produces scored JSON
@@ -29,6 +32,8 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+#[cfg(feature = "fault-injection")]
+pub mod chaos;
 pub mod cloudsuite;
 pub mod django;
 pub mod feedsim;

@@ -84,7 +84,7 @@ impl WikiApp {
             let pages = self.pages.read();
             let page = pages
                 .get(page_id)
-                .ok_or_else(|| ServiceError("404 page not found".into()))?;
+                .ok_or_else(|| ServiceError::new("404 page not found"))?;
             let mut key = b"page:".to_vec();
             key.extend_from_slice(&page_id.to_le_bytes());
             key.extend_from_slice(&page.revision.to_le_bytes());
@@ -99,7 +99,7 @@ impl WikiApp {
         });
         html_gz
             .map(|b| b.len())
-            .ok_or_else(|| ServiceError("render failed".into()))
+            .ok_or_else(|| ServiceError::new("render failed"))
     }
 
     /// `edit`: append a paragraph, bump the revision (the old revision's
@@ -110,7 +110,7 @@ impl WikiApp {
         pages
             .edit(page_id, &appended)
             .map(|rev| rev as usize)
-            .ok_or_else(|| ServiceError("404 page not found".into()))
+            .ok_or_else(|| ServiceError::new("404 page not found"))
     }
 
     /// `login`: password hash check + session token issuance (crypto

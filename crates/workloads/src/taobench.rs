@@ -100,7 +100,7 @@ impl Service for TaoClient {
         };
         match result {
             Ok(resp) => Ok(resp.body.len()),
-            Err(e) => Err(ServiceError(e.to_string())),
+            Err(e) => Err(ServiceError::new(e.to_string())),
         }
     }
 }

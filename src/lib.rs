@@ -13,6 +13,10 @@
 //! * [`platform`] — SKU specifications and the analytical microarchitecture
 //!   model used to reproduce the paper's cross-SKU projections.
 //! * [`rpc`], [`kvstore`], [`tax`], [`loadgen`], [`util`] — the substrates.
+//! * `resilience` (feature `fault-injection`) — deadlines, retries,
+//!   circuit breaking, and deterministic fault plans; enables the
+//!   `workloads::chaos` SLO-under-chaos scenarios and the
+//!   `chaos_taobench` example (`cargo chaos`).
 //!
 //! # Quickstart
 //!
@@ -32,6 +36,8 @@ pub use dcperf_core as core;
 pub use dcperf_kvstore as kvstore;
 pub use dcperf_loadgen as loadgen;
 pub use dcperf_platform as platform;
+#[cfg(feature = "fault-injection")]
+pub use dcperf_resilience as resilience;
 pub use dcperf_rpc as rpc;
 pub use dcperf_tax as tax;
 pub use dcperf_util as util;

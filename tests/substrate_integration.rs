@@ -82,7 +82,7 @@ fn loadgen_measures_rpc_service_latency() {
             self.client
                 .call("work", vec![0u8; 16])
                 .map(|r| r.body.len())
-                .map_err(|e| ServiceError(e.to_string()))
+                .map_err(|e| ServiceError::new(e.to_string()))
         }
     }
 

@@ -17,7 +17,7 @@ impl Service for EchoService {
     fn call(&self, _endpoint: usize, seq: u64) -> Result<usize, ServiceError> {
         match self.client.call("echo", seq.to_le_bytes().to_vec()) {
             Ok(resp) => Ok(resp.body.len()),
-            Err(e) => Err(ServiceError(e.to_string())),
+            Err(e) => Err(ServiceError::new(e.to_string())),
         }
     }
 }
