@@ -1,0 +1,163 @@
+//! Structured diagnostics and the machine-readable JSON report.
+
+use std::fmt;
+
+/// How bad a finding is. `Error` always fails the run; `Warning` fails
+/// it only under `--deny warnings` (the CI configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Invariant violation that should gate merges via `--deny warnings`.
+    Warning,
+    /// Violation that fails the run unconditionally.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding: rule id, severity, span, and message.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule id (see [`crate::rules::RULE_IDS`]).
+    pub rule: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation with the expected fix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Convenience constructor.
+    pub fn new(
+        rule: &'static str,
+        severity: Severity,
+        file: &str,
+        line: u32,
+        col: u32,
+        message: String,
+    ) -> Self {
+        Self {
+            rule,
+            severity,
+            file: file.to_string(),
+            line,
+            col,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}:{}:{} — {}",
+            self.severity, self.rule, self.file, self.line, self.col, self.message
+        )
+    }
+}
+
+/// Render the whole run as a JSON document. Hand-rolled (the analyzer is
+/// dependency-free by design); strings are escaped per RFC 8259.
+pub fn to_json(diags: &[Diagnostic], files_checked: usize, suppressed: usize) -> String {
+    let mut s = String::with_capacity(256 + diags.len() * 160);
+    s.push_str("{\n");
+    s.push_str("  \"version\": 1,\n");
+    s.push_str(&format!("  \"files_checked\": {files_checked},\n"));
+    s.push_str(&format!("  \"suppressed\": {suppressed},\n"));
+    s.push_str(&format!(
+        "  \"errors\": {},\n",
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    ));
+    s.push_str(&format!(
+        "  \"warnings\": {},\n",
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    ));
+    s.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        s.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
+        s.push_str(&format!(
+            "\"severity\": {}, ",
+            json_str(&d.severity.to_string())
+        ));
+        s.push_str(&format!("\"file\": {}, ", json_str(&d.file)));
+        s.push_str(&format!("\"line\": {}, ", d.line));
+        s.push_str(&format!("\"column\": {}, ", d.col));
+        s.push_str(&format!("\"message\": {}", json_str(&d.message)));
+        s.push('}');
+    }
+    if !diags.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let diags = vec![Diagnostic::new(
+            "panic-path",
+            Severity::Warning,
+            "crates/rpc/src/pool.rs",
+            212,
+            14,
+            "said \"no\"\nand a tab\there".to_string(),
+        )];
+        let json = to_json(&diags, 42, 3);
+        assert!(json.contains("\"files_checked\": 42"));
+        assert!(json.contains("\"suppressed\": 3"));
+        assert!(json.contains("\"warnings\": 1"));
+        assert!(json.contains(r#"\"no\"\nand a tab\there"#));
+        assert!(json.contains("\"rule\": \"panic-path\""));
+    }
+
+    #[test]
+    fn display_renders_span() {
+        let d = Diagnostic::new("wall-clock", Severity::Error, "a.rs", 3, 7, "m".into());
+        assert_eq!(d.to_string(), "error[wall-clock]: a.rs:3:7 — m");
+    }
+}

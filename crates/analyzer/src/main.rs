@@ -1,0 +1,160 @@
+//! CLI entry point for `cargo analyze`.
+//!
+//! ```text
+//! cargo analyze [--deny warnings] [--json PATH] [--root PATH]
+//!               [--quiet] [--list-rules]
+//! ```
+//!
+//! Exit status: 0 when clean (or only undenied warnings), 1 when any
+//! error — or, under `--deny warnings`, any warning — survives
+//! suppression, 2 on usage or IO errors.
+
+#![forbid(unsafe_code)]
+
+use dcperf_analyzer::diag::Severity;
+use dcperf_analyzer::{analyze, diag, policy::Policy, rules};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    deny_warnings: bool,
+    json: Option<PathBuf>,
+    root: Option<PathBuf>,
+    quiet: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny_warnings: false,
+        json: None,
+        root: None,
+        quiet: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => match it.next().as_deref() {
+                Some("warnings") => args.deny_warnings = true,
+                other => return Err(format!("--deny expects `warnings`, got {other:?}")),
+            },
+            "--json" => match it.next() {
+                Some(path) => args.json = Some(PathBuf::from(path)),
+                None => return Err("--json expects a path".to_string()),
+            },
+            "--root" => match it.next() {
+                Some(path) => args.root = Some(PathBuf::from(path)),
+                None => return Err("--root expects a path".to_string()),
+            },
+            "--quiet" | "-q" => args.quiet = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "cargo analyze — DCPerf-RS workspace invariant linter\n\n\
+                     USAGE:\n    cargo analyze [--deny warnings] [--json PATH] [--root PATH] \
+                     [--quiet] [--list-rules]\n\n\
+                     Suppress a finding in source with:\n    \
+                     // analyzer: allow(rule-id) — reason"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks upward from the current directory to the workspace root (the
+/// first ancestor whose Cargo.toml declares `[workspace]`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for (id, doc) in rules::RULE_DOCS {
+            println!("{id:<16} {doc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(root) = args.root.clone().or_else(find_root) else {
+        eprintln!("error: no workspace root found (run inside the repository or pass --root)");
+        return ExitCode::from(2);
+    };
+
+    let report = match analyze(&root, &Policy::dcperf()) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!(
+                "error: failed to read workspace at {}: {err}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if !args.quiet {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        let (errors, warnings) = (
+            report.count(Severity::Error),
+            report.count(Severity::Warning),
+        );
+        println!(
+            "cargo analyze: {} files checked — {errors} error(s), {warnings} warning(s), \
+             {} suppressed by in-source allows",
+            report.files_checked, report.suppressed
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let json = diag::to_json(&report.diagnostics, report.files_checked, report.suppressed);
+        if let Err(err) = write_report(path, &json) {
+            eprintln!(
+                "error: cannot write JSON report to {}: {err}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+        if !args.quiet {
+            println!("JSON report written to {}", path.display());
+        }
+    }
+
+    if report.failed(args.deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn write_report(path: &Path, json: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, json)
+}

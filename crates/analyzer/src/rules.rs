@@ -1,0 +1,453 @@
+//! The rule families.
+//!
+//! Every rule walks the token stream of one file (or, for the workspace
+//! rules, facts collected across files) and emits [`Diagnostic`]s.
+//! Suppression filtering happens centrally in the engine, so rules here
+//! report every candidate violation.
+//!
+//! | id               | family              | scope     |
+//! |------------------|---------------------|-----------|
+//! | `atomics-order`  | atomics audit       | per file  |
+//! | `metrics-schema` | metrics conformance | per file  |
+//! | `metrics-orphan` | metrics conformance | workspace |
+//! | `panic-path`     | panic paths         | per file  |
+//! | `unsafe-comment` | unsafe hygiene      | per file  |
+//! | `unsafe-forbid`  | unsafe hygiene      | workspace |
+//! | `feature-gate`   | feature hygiene     | per file  |
+//! | `wall-clock`     | determinism         | per file  |
+//! | `suppression`    | meta                | per file  |
+
+use crate::context::FileCtx;
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Tok, TokKind};
+use crate::policy::Policy;
+use crate::schema::MetricsSchema;
+
+/// Every rule id the analyzer can emit (used to validate allow comments).
+pub const RULE_IDS: &[&str] = &[
+    "atomics-order",
+    "metrics-schema",
+    "metrics-orphan",
+    "panic-path",
+    "unsafe-comment",
+    "unsafe-forbid",
+    "feature-gate",
+    "wall-clock",
+    "suppression",
+];
+
+/// One-line description per rule, for `--list-rules` and the docs.
+pub const RULE_DOCS: &[(&str, &str)] = &[
+    (
+        "atomics-order",
+        "every atomic Ordering:: use must match the module's allowlist or carry an `// ordering: reason` comment",
+    ),
+    (
+        "metrics-schema",
+        "metric-name string literals at telemetry call sites must be declared in telemetry::metrics",
+    ),
+    (
+        "metrics-orphan",
+        "every constant declared in telemetry::metrics must be referenced somewhere in the workspace",
+    ),
+    (
+        "panic-path",
+        "no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in non-test code of hot-path crates",
+    ),
+    (
+        "unsafe-comment",
+        "every `unsafe` must be immediately preceded by a `// SAFETY:` comment",
+    ),
+    (
+        "unsafe-forbid",
+        "crates without unsafe must carry #![forbid(unsafe_code)]; crates with unsafe must lint unsafe_op_in_unsafe_fn",
+    ),
+    (
+        "feature-gate",
+        "cfg(feature = \"…\") for gated features only in crates that declare the feature",
+    ),
+    (
+        "wall-clock",
+        "no Instant/SystemTime reads in deterministic seeded modules",
+    ),
+    (
+        "suppression",
+        "allow comments must name a known rule, give a reason, and actually suppress something",
+    ),
+];
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn ident(tok: &Tok) -> Option<&str> {
+    match &tok.kind {
+        TokKind::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(tok: Option<&Tok>, c: char) -> bool {
+    matches!(tok.map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+}
+
+/// Rule `atomics-order`.
+pub fn atomics_order(ctx: &FileCtx, policy: &Policy, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lx.tokens;
+    for i in 0..toks.len() {
+        if ident(&toks[i]) != Some("Ordering") {
+            continue;
+        }
+        if !(is_punct(toks.get(i + 1), ':') && is_punct(toks.get(i + 2), ':')) {
+            continue;
+        }
+        let Some(variant) = toks.get(i + 3).and_then(ident) else {
+            continue;
+        };
+        if !ATOMIC_ORDERINGS.contains(&variant) {
+            continue; // `cmp::Ordering::{Less,Equal,Greater}` and friends
+        }
+        let tok = &toks[i];
+        if ctx.is_test_line(tok.line) {
+            continue;
+        }
+        let entry = policy.ordering_entry(&ctx.rel);
+        if entry.is_some_and(|e| e.orderings.iter().any(|o| o == variant)) {
+            continue;
+        }
+        if ctx.ordering_justified.contains(&tok.line) {
+            continue;
+        }
+        let allowed = entry
+            .map(|e| format!(" (module allowlist permits: {})", e.orderings.join(", ")))
+            .unwrap_or_default();
+        out.push(Diagnostic::new(
+            "atomics-order",
+            Severity::Warning,
+            &ctx.rel,
+            tok.line,
+            tok.col,
+            format!(
+                "Ordering::{variant} is not in this module's allowlist{allowed}; \
+                 justify it with a trailing `// ordering: reason` comment or extend \
+                 the allowlist in the analyzer policy"
+            ),
+        ));
+    }
+}
+
+/// Call-site method names whose string-literal arguments name metrics.
+const METRIC_CALLS: &[&str] = &["counter", "gauge", "histogram"];
+
+/// Rule `metrics-schema`.
+pub fn metrics_schema(
+    ctx: &FileCtx,
+    policy: &Policy,
+    schema: &MetricsSchema,
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.rel == policy.schema_path || schema.is_empty() {
+        return;
+    }
+    let toks = &ctx.lx.tokens;
+    for i in 0..toks.len() {
+        let Some(name) = ident(&toks[i]) else {
+            continue;
+        };
+        let is_metric_call = METRIC_CALLS.contains(&name);
+        let is_prefix_call = name == "with_telemetry";
+        if !(is_metric_call || is_prefix_call) || !is_punct(toks.get(i + 1), '(') {
+            continue;
+        }
+        // Scan the balanced argument list for string literals.
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        while depth > 0 {
+            let Some(t) = toks.get(j) else { break };
+            match &t.kind {
+                TokKind::Punct('(') => depth += 1,
+                TokKind::Punct(')') => depth -= 1,
+                TokKind::Str(v) => {
+                    check_metric_literal(ctx, schema, v, t, is_prefix_call, out);
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+fn check_metric_literal(
+    ctx: &FileCtx,
+    schema: &MetricsSchema,
+    value: &str,
+    tok: &Tok,
+    is_prefix_position: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Undotted literals ("hits", unit-test scratch names) are out of the
+    // metric namespace; only dotted names are schema-governed.
+    if !value.contains('.') {
+        return;
+    }
+    // A format template: validate the static prefix before the first
+    // placeholder. `"{prefix}.{}"` has nothing static to check.
+    if let Some(brace) = value.find('{') {
+        let prefix = value[..brace].trim_end_matches('.');
+        if !prefix.contains('.') && !schema.is_prefix(prefix) && !prefix.is_empty() {
+            // Single-segment static prefix such as "rpc" — fine.
+            return;
+        }
+        if prefix.is_empty()
+            || schema.is_prefix(prefix)
+            || schema.matches_dynamic(prefix)
+            || schema.contains(prefix)
+        {
+            return;
+        }
+        out.push(Diagnostic::new(
+            "metrics-schema",
+            Severity::Warning,
+            &ctx.rel,
+            tok.line,
+            tok.col,
+            format!(
+                "dynamic metric name `{value}` does not start from a declared prefix; \
+                 declare a `DYN_*` or `PREFIX_*` constant in telemetry::metrics"
+            ),
+        ));
+        return;
+    }
+    let ok = if is_prefix_position {
+        schema.is_prefix(value) || schema.contains(value)
+    } else {
+        schema.contains(value) || schema.matches_dynamic(value)
+    };
+    if !ok {
+        let kind = if is_prefix_position { "prefix" } else { "name" };
+        out.push(Diagnostic::new(
+            "metrics-schema",
+            Severity::Warning,
+            &ctx.rel,
+            tok.line,
+            tok.col,
+            format!(
+                "metric {kind} `{value}` is not declared in telemetry::metrics; \
+                 declare it there (and use the constant) or fix the typo"
+            ),
+        ));
+    }
+}
+
+/// Rule `metrics-orphan` (workspace scope). `usage` holds, for every
+/// file except the schema module, the identifiers and string values it
+/// mentions.
+pub fn metrics_orphan(
+    schema: &MetricsSchema,
+    schema_rel: &str,
+    usage: &[(String, std::collections::BTreeSet<String>)],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (ident, c) in schema.all_consts() {
+        let referenced = usage.iter().any(|(rel, mentions)| {
+            rel != schema_rel && (mentions.contains(ident) || mentions.contains(&c.value))
+        });
+        if !referenced {
+            out.push(Diagnostic::new(
+                "metrics-orphan",
+                Severity::Warning,
+                schema_rel,
+                c.line,
+                1,
+                format!(
+                    "schema constant `{ident}` (\"{}\") is never referenced outside the \
+                     schema; delete it or migrate its call sites",
+                    c.value
+                ),
+            ));
+        }
+    }
+}
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Rule `panic-path`.
+pub fn panic_path(ctx: &FileCtx, policy: &Policy, out: &mut Vec<Diagnostic>) {
+    if !policy.is_hot_path(&ctx.crate_name) {
+        return;
+    }
+    let toks = &ctx.lx.tokens;
+    for i in 0..toks.len() {
+        let Some(name) = ident(&toks[i]) else {
+            continue;
+        };
+        let tok = &toks[i];
+        if ctx.is_test_line(tok.line) {
+            continue;
+        }
+        let hit = if PANIC_METHODS.contains(&name) {
+            // `.unwrap(` / `.expect(` — a method call, not a definition.
+            is_punct(toks.get(i + 1), '(') && i > 0 && is_punct(toks.get(i - 1), '.')
+        } else if PANIC_MACROS.contains(&name) {
+            is_punct(toks.get(i + 1), '!')
+        } else {
+            false
+        };
+        if hit {
+            out.push(Diagnostic::new(
+                "panic-path",
+                Severity::Warning,
+                &ctx.rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "`{name}` on a hot-path crate; return an error instead, or add \
+                     `// analyzer: allow(panic-path) — reason` if the panic is \
+                     provably unreachable or startup-only"
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule `unsafe-comment`.
+pub fn unsafe_comment(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for t in &ctx.lx.tokens {
+        if ident(t) != Some("unsafe") {
+            continue;
+        }
+        if ctx.safety_covered.contains(&t.line) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            "unsafe-comment",
+            Severity::Warning,
+            &ctx.rel,
+            t.line,
+            t.col,
+            "`unsafe` without an immediately preceding `// SAFETY:` comment".to_string(),
+        ));
+    }
+}
+
+/// Facts about one crate, for the workspace-scope unsafe rule.
+pub struct CrateUnsafeFacts {
+    /// Crate directory name.
+    pub crate_name: String,
+    /// Does any file in the crate use the `unsafe` keyword?
+    pub has_unsafe: bool,
+    /// The crate's root files (`lib.rs`, `main.rs`, `bin/*.rs`) with
+    /// whether each carries `forbid(unsafe_code)` and
+    /// `unsafe_op_in_unsafe_fn`.
+    pub roots: Vec<(String, bool, bool)>,
+}
+
+/// Rule `unsafe-forbid` (workspace scope).
+pub fn unsafe_forbid(facts: &[CrateUnsafeFacts], out: &mut Vec<Diagnostic>) {
+    for c in facts {
+        for (rel, has_forbid, has_unsafe_op_lint) in &c.roots {
+            if !c.has_unsafe && !has_forbid {
+                out.push(Diagnostic::new(
+                    "unsafe-forbid",
+                    Severity::Warning,
+                    rel,
+                    1,
+                    1,
+                    format!(
+                        "crate `{}` uses no unsafe code but this target root lacks \
+                         `#![forbid(unsafe_code)]`",
+                        c.crate_name
+                    ),
+                ));
+            }
+            if c.has_unsafe && !has_unsafe_op_lint {
+                out.push(Diagnostic::new(
+                    "unsafe-forbid",
+                    Severity::Warning,
+                    rel,
+                    1,
+                    1,
+                    format!(
+                        "crate `{}` keeps unsafe code but this target root does not lint \
+                         `unsafe_op_in_unsafe_fn` (add `#![deny(unsafe_op_in_unsafe_fn)]`)",
+                        c.crate_name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Rule `feature-gate`. `declared` lists the features the crate's
+/// Cargo.toml declares.
+pub fn feature_gate(
+    ctx: &FileCtx,
+    policy: &Policy,
+    declared: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &ctx.lx.tokens;
+    for i in 0..toks.len() {
+        if ident(&toks[i]) != Some("feature") || !is_punct(toks.get(i + 1), '=') {
+            continue;
+        }
+        let Some(TokKind::Str(feat)) = toks.get(i + 2).map(|t| &t.kind) else {
+            continue;
+        };
+        if !policy.gated_features.iter().any(|f| f == feat) {
+            continue;
+        }
+        if declared.iter().any(|f| f == feat) {
+            continue;
+        }
+        let tok = &toks[i];
+        out.push(Diagnostic::new(
+            "feature-gate",
+            Severity::Warning,
+            &ctx.rel,
+            tok.line,
+            tok.col,
+            format!(
+                "cfg for gated feature \"{feat}\" in crate `{}`, whose Cargo.toml does \
+                 not declare that feature; declare it or move the gated code",
+                ctx.crate_name
+            ),
+        ));
+    }
+}
+
+/// Rule `wall-clock`.
+pub fn wall_clock(ctx: &FileCtx, policy: &Policy, out: &mut Vec<Diagnostic>) {
+    if !policy.is_deterministic_path(&ctx.rel) {
+        return;
+    }
+    let toks = &ctx.lx.tokens;
+    for i in 0..toks.len() {
+        let Some(name) = ident(&toks[i]) else {
+            continue;
+        };
+        if name != "Instant" && name != "SystemTime" {
+            continue;
+        }
+        // Only `Instant::…` / `SystemTime::…` — a *read* of the wall
+        // clock. Type positions and imports are deterministic.
+        if !(is_punct(toks.get(i + 1), ':') && is_punct(toks.get(i + 2), ':')) {
+            continue;
+        }
+        let tok = &toks[i];
+        if ctx.is_test_line(tok.line) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            "wall-clock",
+            Severity::Warning,
+            &ctx.rel,
+            tok.line,
+            tok.col,
+            format!(
+                "`{name}::…` wall-clock read inside a deterministic seeded module; \
+                 derive time from the seed/op index, or justify with \
+                 `// analyzer: allow(wall-clock) — reason`"
+            ),
+        ));
+    }
+}

@@ -1,0 +1,202 @@
+//! Parser for the central metrics schema module
+//! (`crates/telemetry/src/metrics.rs`).
+//!
+//! The schema is ordinary Rust the analyzer reads structurally:
+//!
+//! * `pub const NAME: &str = "loadgen.completed";` — a fixed metric name;
+//! * `pub const PREFIX_X: &str = "rpc.breaker";` — a prefix composable
+//!   with any declared suffix (`rpc.breaker.rejected`, …);
+//! * `pub const DYN_X: &str = "loadgen.endpoint";` — a dynamic prefix
+//!   whose remaining segments are generated at runtime;
+//! * consts inside `pub mod suffix { … }` — the suffix vocabulary.
+//!
+//! The declared-name set is: every fixed name, plus every
+//! `prefix + "." + suffix` composition. Dynamic prefixes validate any
+//! literal that extends them by at least one segment.
+
+use crate::lexer::{lex, TokKind};
+use std::collections::BTreeMap;
+
+/// One declared constant in the schema module.
+#[derive(Debug, Clone)]
+pub struct SchemaConst {
+    /// The Rust identifier (`LOADGEN_COMPLETED`).
+    pub ident: String,
+    /// The metric name or prefix it expands to.
+    pub value: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+}
+
+/// The parsed schema: fixed names, prefixes, dynamic prefixes, suffixes.
+#[derive(Debug, Default)]
+pub struct MetricsSchema {
+    /// Fully-specified metric names.
+    pub fixed: Vec<SchemaConst>,
+    /// Composable prefixes (`PREFIX_*`).
+    pub prefixes: Vec<SchemaConst>,
+    /// Dynamic prefixes (`DYN_*`).
+    pub dynamic: Vec<SchemaConst>,
+    /// Suffix vocabulary (consts in `mod suffix`).
+    pub suffixes: Vec<SchemaConst>,
+}
+
+impl MetricsSchema {
+    /// Parses the schema from the source of the metrics module.
+    pub fn parse(src: &str) -> Self {
+        let lx = lex(src);
+        let toks = &lx.tokens;
+        let mut schema = Self::default();
+
+        // Track whether we are inside `mod suffix { … }` via brace depth.
+        let mut suffix_depth: Option<usize> = None;
+        let mut depth = 0usize;
+
+        let mut i = 0;
+        while i < toks.len() {
+            match &toks[i].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if suffix_depth.is_some_and(|d| depth < d) {
+                        suffix_depth = None;
+                    }
+                }
+                TokKind::Ident(kw) if kw == "mod" => {
+                    if let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                        if name == "suffix" {
+                            suffix_depth = Some(depth + 1);
+                        }
+                    }
+                }
+                TokKind::Ident(kw) if kw == "const" => {
+                    // const IDENT : & str = "value" ;
+                    if let Some(c) = parse_const(toks, i) {
+                        let in_suffix = suffix_depth.is_some();
+                        if in_suffix {
+                            schema.suffixes.push(c);
+                        } else if c.ident.starts_with("PREFIX_") {
+                            schema.prefixes.push(c);
+                        } else if c.ident.starts_with("DYN_") {
+                            schema.dynamic.push(c);
+                        } else {
+                            schema.fixed.push(c);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        schema
+    }
+
+    /// Is `name` a declared metric name (fixed, or prefix+suffix)?
+    pub fn contains(&self, name: &str) -> bool {
+        if self.fixed.iter().any(|c| c.value == name) {
+            return true;
+        }
+        self.prefixes.iter().any(|p| {
+            name.strip_prefix(&p.value)
+                .and_then(|rest| rest.strip_prefix('.'))
+                .is_some_and(|suffix| self.suffixes.iter().any(|s| s.value == suffix))
+        })
+    }
+
+    /// Is `name` a declared composable prefix?
+    pub fn is_prefix(&self, name: &str) -> bool {
+        self.prefixes.iter().any(|p| p.value == name)
+    }
+
+    /// Does `name` extend a declared dynamic prefix?
+    pub fn matches_dynamic(&self, name: &str) -> bool {
+        self.dynamic.iter().any(|d| {
+            name.strip_prefix(&d.value)
+                .is_some_and(|rest| rest.is_empty() || rest.starts_with('.'))
+        })
+    }
+
+    /// Every declared const, keyed by identifier (for orphan detection).
+    pub fn all_consts(&self) -> BTreeMap<&str, &SchemaConst> {
+        self.fixed
+            .iter()
+            .chain(&self.prefixes)
+            .chain(&self.dynamic)
+            .chain(&self.suffixes)
+            .map(|c| (c.ident.as_str(), c))
+            .collect()
+    }
+
+    /// True when the schema declares nothing (missing or empty module).
+    pub fn is_empty(&self) -> bool {
+        self.fixed.is_empty()
+            && self.prefixes.is_empty()
+            && self.dynamic.is_empty()
+            && self.suffixes.is_empty()
+    }
+}
+
+/// Matches `const IDENT: &str = "value"` starting at the `const` token.
+fn parse_const(toks: &[crate::lexer::Tok], i: usize) -> Option<SchemaConst> {
+    let ident = match &toks.get(i + 1)?.kind {
+        TokKind::Ident(name) => name.clone(),
+        _ => return None,
+    };
+    // Walk forward to the `=` then expect a string literal.
+    let mut j = i + 2;
+    while j < toks.len() && j < i + 8 {
+        if toks[j].kind == TokKind::Punct('=') {
+            if let Some(TokKind::Str(v)) = toks.get(j + 1).map(|t| &t.kind) {
+                return Some(SchemaConst {
+                    ident,
+                    value: v.clone(),
+                    line: toks[i].line,
+                });
+            }
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        //! schema
+        pub const LOADGEN_COMPLETED: &str = "loadgen.completed";
+        pub const PREFIX_RPC: &str = "rpc";
+        pub const DYN_CHAOS: &str = "chaos";
+        pub mod suffix {
+            pub const REQUESTS: &str = "requests";
+            pub const REJECTED: &str = "rejected";
+        }
+        pub fn scoped(prefix: &str, suffix: &str) -> String {
+            format!("{prefix}.{suffix}")
+        }
+    "#;
+
+    #[test]
+    fn classifies_declarations() {
+        let s = MetricsSchema::parse(SRC);
+        assert_eq!(s.fixed.len(), 1);
+        assert_eq!(s.prefixes.len(), 1);
+        assert_eq!(s.dynamic.len(), 1);
+        assert_eq!(s.suffixes.len(), 2);
+    }
+
+    #[test]
+    fn membership_rules() {
+        let s = MetricsSchema::parse(SRC);
+        assert!(s.contains("loadgen.completed"));
+        assert!(s.contains("rpc.requests"));
+        assert!(s.contains("rpc.rejected"));
+        assert!(!s.contains("rpc.reqeusts"));
+        assert!(!s.contains("loadgen.complete"));
+        assert!(s.is_prefix("rpc"));
+        assert!(s.matches_dynamic("chaos.store.anything"));
+        assert!(!s.matches_dynamic("chaostore"));
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture telemetry crate root: clean, unsafe-free.
+
+#![forbid(unsafe_code)]
+
+pub mod metrics;

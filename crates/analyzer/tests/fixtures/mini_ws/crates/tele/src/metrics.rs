@@ -1,0 +1,11 @@
+//! Fixture metrics schema: one fixed name, one deliberate orphan, one
+//! composable prefix, one dynamic prefix, one suffix.
+
+pub const APP_GOOD: &str = "app.good";
+pub const APP_UNUSED: &str = "app.unused";
+pub const PREFIX_APP: &str = "app.rpc";
+pub const DYN_APP_WORKER: &str = "app.worker";
+
+pub mod suffix {
+    pub const REQUESTS: &str = "requests";
+}

@@ -2,6 +2,8 @@
 //!
 //! Usage: `figures all` or `figures fig2 fig14 table3 …`.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {

@@ -168,6 +168,7 @@ impl HookManager {
                             ts.values.push(value);
                         }
                     }
+                    // ordering: advisory stop flag; a late observation only samples once more
                     if stop2.load(Ordering::Relaxed) {
                         break;
                     }
@@ -195,6 +196,7 @@ impl HookManager {
     /// Stops the sampler thread, if running, and stores its reports.
     pub fn stop(&mut self) {
         if let Some(handle) = self.runner.take() {
+            // ordering: advisory stop flag; join() below is the real synchronization
             handle.stop.store(true, Ordering::Relaxed);
             if let Ok(mut reports) = handle.join.join() {
                 self.finished.append(&mut reports);

@@ -75,6 +75,7 @@ impl BackingStore {
     /// (non-positive median or negative sigma).
     pub fn new(config: BackingStoreConfig, seed: u64) -> Self {
         let sizes = LogNormal::from_median(config.value_median_bytes, config.value_sigma)
+            // analyzer: allow(panic-path) — construction-time config validation, documented above
             .expect("backing store size distribution must be valid");
         Self {
             config,

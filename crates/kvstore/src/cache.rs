@@ -77,7 +77,7 @@ impl Cache {
     pub fn with_telemetry(config: CacheConfig, telemetry: &dcperf_telemetry::Telemetry) -> Self {
         Self::with_stats(
             config,
-            CacheStats::with_telemetry(telemetry, "kvstore.cache"),
+            CacheStats::with_telemetry(telemetry, dcperf_telemetry::metrics::PREFIX_CACHE),
         )
     }
 

@@ -1,6 +1,6 @@
 //! Cache-wide counters, recorded through the unified telemetry layer.
 
-use dcperf_telemetry::{Counter, Telemetry};
+use dcperf_telemetry::{metrics, Counter, Telemetry};
 use std::sync::Arc;
 
 /// Hit/miss/fill counters shared across all shards of a
@@ -22,17 +22,18 @@ pub struct CacheStats {
 impl CacheStats {
     /// Creates zeroed counters in a private registry.
     pub fn new() -> Self {
-        Self::with_telemetry(&Telemetry::new(), "kvstore.cache")
+        Self::with_telemetry(&Telemetry::new(), metrics::PREFIX_CACHE)
     }
 
     /// Registers the counters under `<prefix>.*` in `telemetry`.
     pub fn with_telemetry(telemetry: &Telemetry, prefix: &str) -> Self {
+        let counter = |s| telemetry.counter(&metrics::scoped(prefix, s));
         Self {
-            hits: telemetry.counter(&format!("{prefix}.hits")),
-            misses: telemetry.counter(&format!("{prefix}.misses")),
-            insertions: telemetry.counter(&format!("{prefix}.insertions")),
-            evictions: telemetry.counter(&format!("{prefix}.evictions")),
-            load_failures: telemetry.counter(&format!("{prefix}.load_failures")),
+            hits: counter(metrics::suffix::HITS),
+            misses: counter(metrics::suffix::MISSES),
+            insertions: counter(metrics::suffix::INSERTIONS),
+            evictions: counter(metrics::suffix::EVICTIONS),
+            load_failures: counter(metrics::suffix::LOAD_FAILURES),
         }
     }
 
@@ -125,7 +126,7 @@ mod tests {
     #[test]
     fn counters_appear_in_shared_registry() {
         let telemetry = Telemetry::new();
-        let s = CacheStats::with_telemetry(&telemetry, "kvstore.cache");
+        let s = CacheStats::with_telemetry(&telemetry, metrics::PREFIX_CACHE);
         s.record_hit();
         s.record_miss();
         let snap = telemetry.snapshot();

@@ -42,7 +42,7 @@
 #![warn(missing_docs)]
 
 use crossbeam::channel::{bounded, RecvTimeoutError};
-use dcperf_telemetry::{Counter, Telemetry, TelemetrySnapshot};
+use dcperf_telemetry::{metrics, Counter, Telemetry, TelemetrySnapshot};
 use dcperf_util::{Empirical, Exponential, Histogram, Rng, Xoshiro256pp};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -259,18 +259,20 @@ impl RunRecorder {
     fn new(mix: &EndpointMix, shared: Option<&Telemetry>) -> Self {
         let telemetry = shared.cloned().unwrap_or_default();
         Self {
-            completed: telemetry.counter("loadgen.completed"),
-            errors: telemetry.counter("loadgen.errors"),
-            deadline_exceeded: telemetry.counter("loadgen.deadline_exceeded"),
-            rejected: telemetry.counter("loadgen.rejected"),
-            dropped: telemetry.counter("loadgen.dropped"),
-            bytes: telemetry.counter("loadgen.response_bytes"),
-            latency: telemetry.histogram("loadgen.latency_ns"),
+            completed: telemetry.counter(metrics::LOADGEN_COMPLETED),
+            errors: telemetry.counter(metrics::LOADGEN_ERRORS),
+            deadline_exceeded: telemetry.counter(metrics::LOADGEN_DEADLINE_EXCEEDED),
+            rejected: telemetry.counter(metrics::LOADGEN_REJECTED),
+            dropped: telemetry.counter(metrics::LOADGEN_DROPPED),
+            bytes: telemetry.counter(metrics::LOADGEN_RESPONSE_BYTES),
+            latency: telemetry.histogram(metrics::LOADGEN_LATENCY_NS),
             per_endpoint: mix
                 .names
                 .iter()
                 .enumerate()
-                .map(|(i, name)| telemetry.counter(&format!("loadgen.endpoint.{i}.{name}")))
+                .map(|(i, name)| {
+                    telemetry.counter(&format!("{}.{i}.{name}", metrics::DYN_LOADGEN_ENDPOINT))
+                })
                 .collect(),
             telemetry,
         }
@@ -369,11 +371,14 @@ impl ClosedLoop {
                 let issued = &issued;
                 let deadline = started + self.duration;
                 scope.spawn(move || loop {
+                    // ordering: advisory stop flag; a stale read costs one extra call
                     if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
                         break;
                     }
+                    // ordering: seq only claims a unique slot in the call budget
                     let seq = issued.fetch_add(1, Ordering::Relaxed);
                     if seq >= budget {
+                        // ordering: advisory stop flag; scope join is the real barrier
                         stop.store(true, Ordering::Relaxed);
                         break;
                     }
@@ -471,6 +476,7 @@ impl OpenLoop {
                 let mix = &self.mix;
                 let recorder = &recorder;
                 let gaps =
+                    // analyzer: allow(panic-path) — rate() clamps to positive at construction
                     Exponential::new(self.offered_rps).expect("offered rate clamped positive");
                 let mut rng = Xoshiro256pp::seed_from_u64(seed);
                 let tx = tx.clone();

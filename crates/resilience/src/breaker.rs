@@ -13,7 +13,7 @@
 //!   call paths, recording state transitions and rejections into a
 //!   telemetry registry.
 
-use dcperf_telemetry::{Counter, Telemetry};
+use dcperf_telemetry::{metrics, Counter, Telemetry};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -232,20 +232,25 @@ pub struct CircuitBreaker {
 impl CircuitBreaker {
     /// A breaker recording into a private registry.
     pub fn new(config: BreakerConfig) -> Self {
-        Self::with_telemetry(config, &Telemetry::new(), "resilience.breaker")
+        Self::with_telemetry(
+            config,
+            &Telemetry::new(),
+            metrics::PREFIX_RESILIENCE_BREAKER,
+        )
     }
 
     /// A breaker recording transitions under `<prefix>.*` in `telemetry`
     /// (pass the server's registry so breaker events appear next to the
     /// transport counters they explain).
     pub fn with_telemetry(config: BreakerConfig, telemetry: &Telemetry, prefix: &str) -> Self {
+        let counter = |s| telemetry.counter(&metrics::scoped(prefix, s));
         Self {
             core: Mutex::new(BreakerCore::new(config)),
             epoch: Instant::now(),
-            open_transitions: telemetry.counter(&format!("{prefix}.open_transitions")),
-            half_open_transitions: telemetry.counter(&format!("{prefix}.half_open_transitions")),
-            close_transitions: telemetry.counter(&format!("{prefix}.close_transitions")),
-            rejected: telemetry.counter(&format!("{prefix}.rejected")),
+            open_transitions: counter(metrics::suffix::OPEN_TRANSITIONS),
+            half_open_transitions: counter(metrics::suffix::HALF_OPEN_TRANSITIONS),
+            close_transitions: counter(metrics::suffix::CLOSE_TRANSITIONS),
+            rejected: counter(metrics::suffix::REJECTED),
         }
     }
 
@@ -417,7 +422,7 @@ mod tests {
         let breaker = CircuitBreaker::with_telemetry(
             cfg().with_cooldown(Duration::from_secs(3600)),
             &telemetry,
-            "resilience.breaker",
+            metrics::PREFIX_RESILIENCE_BREAKER,
         );
         for _ in 0..4 {
             assert!(breaker.allow());

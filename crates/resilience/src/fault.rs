@@ -247,7 +247,9 @@ fn pay_latency(latency: Duration) {
     if latency >= Duration::from_millis(2) {
         std::thread::sleep(latency);
     } else {
+        // analyzer: allow(wall-clock) — busy-wait pays the injected stall; decisions stay seeded
         let deadline = Instant::now() + latency;
+        // analyzer: allow(wall-clock) — same stall-payment loop as above
         while Instant::now() < deadline {
             std::hint::spin_loop();
         }

@@ -58,6 +58,7 @@ impl InProcClient {
 
     fn build_request(&self, method: &str, body: Vec<u8>) -> Request {
         let mut req = Request::new(method, body);
+        // ordering: seq only needs uniqueness, not ordering with other memory
         req.seq = self.seq.fetch_add(1, Ordering::Relaxed);
         req
     }

@@ -8,7 +8,7 @@
 //! observable (shed requests) rather than unbounded memory growth.
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use dcperf_telemetry::{Counter, Telemetry};
+use dcperf_telemetry::{metrics, Counter, Telemetry};
 use std::sync::Arc;
 
 /// Which pool a job is routed to.
@@ -71,15 +71,16 @@ pub struct PoolStats {
 impl PoolStats {
     /// Creates zeroed counters in a private registry.
     pub fn new() -> Self {
-        Self::with_telemetry(&Telemetry::new(), "rpc.pool")
+        Self::with_telemetry(&Telemetry::new(), metrics::PREFIX_RPC_POOL)
     }
 
     /// Registers the counters under `<prefix>.*` in `telemetry`.
     pub fn with_telemetry(telemetry: &Telemetry, prefix: &str) -> Self {
+        let counter = |s| telemetry.counter(&metrics::scoped(prefix, s));
         Self {
-            fast_jobs: telemetry.counter(&format!("{prefix}.fast_jobs")),
-            slow_jobs: telemetry.counter(&format!("{prefix}.slow_jobs")),
-            shed_jobs: telemetry.counter(&format!("{prefix}.shed_jobs")),
+            fast_jobs: counter(metrics::suffix::FAST_JOBS),
+            slow_jobs: counter(metrics::suffix::SLOW_JOBS),
+            shed_jobs: counter(metrics::suffix::SHED_JOBS),
         }
     }
 
@@ -171,7 +172,10 @@ impl ThreadPool {
     /// Creates the pool with counters registered under `rpc.pool.*` in
     /// `telemetry`.
     pub fn with_telemetry(config: PoolConfig, telemetry: &Telemetry) -> Self {
-        Self::with_stats(config, PoolStats::with_telemetry(telemetry, "rpc.pool"))
+        Self::with_stats(
+            config,
+            PoolStats::with_telemetry(telemetry, metrics::PREFIX_RPC_POOL),
+        )
     }
 
     fn with_stats(config: PoolConfig, stats: PoolStats) -> Self {
@@ -209,6 +213,7 @@ impl ThreadPool {
                     job();
                 }
             })
+            // analyzer: allow(panic-path) — spawn failure at pool construction is fatal by design
             .expect("failed to spawn pool worker")
     }
 

@@ -10,7 +10,7 @@
 
 use crate::frame::{Response, RpcError};
 use dcperf_resilience::{BreakerConfig, CircuitBreaker, RetryBudget, RetryPolicy};
-use dcperf_telemetry::{Counter, Telemetry};
+use dcperf_telemetry::{metrics, Counter, Telemetry};
 use dcperf_util::SplitMix64;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -111,13 +111,13 @@ impl<C: ResilientTransport> ResilientClient<C> {
             breaker: Arc::new(CircuitBreaker::with_telemetry(
                 BreakerConfig::default(),
                 telemetry,
-                "rpc.breaker",
+                metrics::PREFIX_RPC_BREAKER,
             )),
             attempt_deadline: None,
             seed: 0,
             calls: AtomicU64::new(0),
-            retries: telemetry.counter("rpc.resilient.retries"),
-            budget_exhausted: telemetry.counter("rpc.resilient.budget_exhausted"),
+            retries: telemetry.counter(metrics::RPC_RESILIENT_RETRIES),
+            budget_exhausted: telemetry.counter(metrics::RPC_RESILIENT_BUDGET_EXHAUSTED),
         }
     }
 
@@ -158,6 +158,7 @@ impl<C: ResilientTransport> ResilientClient<C> {
     /// The final attempt's error, or [`RpcError::CircuitOpen`] if the
     /// breaker rejected the call.
     pub fn call(&self, method: &str, body: Vec<u8>) -> Result<Response, RpcError> {
+        // ordering: call index only seeds jitter; uniqueness is all that matters
         let call_index = self.calls.fetch_add(1, Ordering::Relaxed);
         let attempt_seed = self.seed ^ SplitMix64::mix(call_index.wrapping_add(1));
         let mut delays = self.policy.schedule(attempt_seed);
@@ -356,7 +357,7 @@ mod tests {
         let breaker = Arc::new(CircuitBreaker::with_telemetry(
             config,
             &telemetry,
-            "rpc.breaker",
+            metrics::PREFIX_RPC_BREAKER,
         ));
         breaker.record_failure(); // trips at min_calls=1
         let client = ResilientClient::new(transport, RetryPolicy::no_retries(), &telemetry)
@@ -386,7 +387,7 @@ mod tests {
         let breaker = Arc::new(CircuitBreaker::with_telemetry(
             config,
             &telemetry,
-            "rpc.breaker",
+            metrics::PREFIX_RPC_BREAKER,
         ));
         let client = ResilientClient::new(transport, RetryPolicy::no_retries(), &telemetry)
             .with_breaker(Arc::clone(&breaker));

@@ -49,7 +49,10 @@ impl ServerCore {
             handler,
             classifier,
             pool: ThreadPool::with_telemetry(config, &telemetry),
-            stats: Arc::new(RpcStats::with_telemetry(&telemetry, "rpc")),
+            stats: Arc::new(RpcStats::with_telemetry(
+                &telemetry,
+                dcperf_telemetry::metrics::PREFIX_RPC,
+            )),
             telemetry,
             #[cfg(feature = "fault-injection")]
             fault_plan: Mutex::new(None),
@@ -278,6 +281,7 @@ impl TcpServer {
             .name("rpc-accept".into())
             .spawn(move || {
                 for stream in listener.incoming() {
+                    // ordering: advisory stop flag; shutdown pokes the socket to force a check
                     if stop2.load(Ordering::Relaxed) {
                         break;
                     }
@@ -313,6 +317,7 @@ impl TcpServer {
         let writer = Arc::new(Mutex::new(write_half));
         let mut reader = BufReader::new(stream);
         loop {
+            // ordering: advisory stop flag; a stale read serves at most one more frame
             if stop.load(Ordering::Relaxed) {
                 break;
             }
@@ -369,6 +374,7 @@ impl TcpServer {
     }
 
     fn shutdown_inner(&mut self) {
+        // ordering: advisory stop flag; the join below is the real synchronization
         self.stop.store(true, Ordering::Relaxed);
         // Poke the accept loop so it observes the stop flag.
         let _ = TcpStream::connect(self.addr);

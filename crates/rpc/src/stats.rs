@@ -2,7 +2,7 @@
 //! layer.
 
 use crate::frame::Status;
-use dcperf_telemetry::{Counter, Telemetry};
+use dcperf_telemetry::{metrics, Counter, Telemetry};
 use std::sync::Arc;
 
 /// Byte and message counters shared between a transport's endpoints.
@@ -26,20 +26,21 @@ pub struct RpcStats {
 impl RpcStats {
     /// Creates zeroed counters in a private registry.
     pub fn new() -> Self {
-        Self::with_telemetry(&Telemetry::new(), "rpc")
+        Self::with_telemetry(&Telemetry::new(), metrics::PREFIX_RPC)
     }
 
     /// Registers the counters under `<prefix>.*` in `telemetry`.
     pub fn with_telemetry(telemetry: &Telemetry, prefix: &str) -> Self {
+        let counter = |s| telemetry.counter(&metrics::scoped(prefix, s));
         Self {
-            requests: telemetry.counter(&format!("{prefix}.requests")),
-            responses: telemetry.counter(&format!("{prefix}.responses")),
-            errors: telemetry.counter(&format!("{prefix}.errors")),
-            shed: telemetry.counter(&format!("{prefix}.shed")),
-            deadline_exceeded: telemetry.counter(&format!("{prefix}.deadline_exceeded")),
-            deadline_shed: telemetry.counter(&format!("{prefix}.deadline_shed")),
-            bytes_sent: telemetry.counter(&format!("{prefix}.bytes_sent")),
-            bytes_received: telemetry.counter(&format!("{prefix}.bytes_received")),
+            requests: counter(metrics::suffix::REQUESTS),
+            responses: counter(metrics::suffix::RESPONSES),
+            errors: counter(metrics::suffix::ERRORS),
+            shed: counter(metrics::suffix::SHED),
+            deadline_exceeded: counter(metrics::suffix::DEADLINE_EXCEEDED),
+            deadline_shed: counter(metrics::suffix::DEADLINE_SHED),
+            bytes_sent: counter(metrics::suffix::BYTES_SENT),
+            bytes_received: counter(metrics::suffix::BYTES_RECEIVED),
         }
     }
 
@@ -156,7 +157,7 @@ mod tests {
     #[test]
     fn counters_appear_in_shared_registry() {
         let telemetry = Telemetry::new();
-        let s = RpcStats::with_telemetry(&telemetry, "rpc");
+        let s = RpcStats::with_telemetry(&telemetry, metrics::PREFIX_RPC);
         s.record_request(32);
         s.record_response(8, Status::Ok);
         let snap = telemetry.snapshot();

@@ -156,7 +156,8 @@ impl<'a> Reader<'a> {
     /// Returns [`WireError::UnexpectedEof`] with fewer than 8 bytes left.
     pub fn read_f64(&mut self) -> Result<f64, WireError> {
         let bytes = self.read_exact(8)?;
-        Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        let bytes = <[u8; 8]>::try_from(bytes).map_err(|_| WireError::UnexpectedEof)?;
+        Ok(f64::from_le_bytes(bytes))
     }
 
     /// Reads `n` raw bytes.

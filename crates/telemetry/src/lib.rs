@@ -45,6 +45,7 @@
 
 mod counter;
 mod hist;
+pub mod metrics;
 mod phase;
 mod snapshot;
 

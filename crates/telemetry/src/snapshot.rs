@@ -188,7 +188,7 @@ mod tests {
 
         let mut b = TelemetrySnapshot::new();
         b.counters.insert("rpc.requests".into(), 5);
-        b.counters.insert("loadgen.retries".into(), 2);
+        b.counters.insert("rpc.resilient.retries".into(), 2);
         b.gauges.insert("in_flight".into(), -1);
         b.histograms.insert(
             "lat".into(),
@@ -213,7 +213,7 @@ mod tests {
 
         a.merge(&b);
         assert_eq!(a.counter("rpc.requests"), Some(15));
-        assert_eq!(a.counter("loadgen.retries"), Some(2));
+        assert_eq!(a.counter("rpc.resilient.retries"), Some(2));
         assert_eq!(a.gauges["in_flight"], 2);
         assert_eq!(a.histogram("lat").unwrap().count, 1, "first digest wins");
         let phase = a.phases["x/measure"];

@@ -27,7 +27,7 @@ use dcperf_resilience::{
 use dcperf_rpc::{
     InProcClient, InProcServer, Lane, PoolConfig, Request, ResilientClient, Response, RpcError,
 };
-use dcperf_telemetry::{Telemetry, TelemetrySnapshot};
+use dcperf_telemetry::{metrics, Telemetry, TelemetrySnapshot};
 use dcperf_util::{SplitMix64, Zipf};
 use std::sync::Arc;
 use std::time::Duration;
@@ -197,20 +197,27 @@ impl Service for ChaosTaoService {
     }
 }
 
-/// Folds a fault plan's injection counters into `snapshot` under
-/// `chaos.<label>.*` names.
-fn merge_plan_counters(snapshot: &mut TelemetrySnapshot, label: &str, plan: &FaultPlan) {
+/// Folds a fault plan's injection counters into `snapshot` under the
+/// given `chaos.*` namespace prefix (a `telemetry::metrics` constant).
+fn merge_plan_counters(snapshot: &mut TelemetrySnapshot, prefix: &str, plan: &FaultPlan) {
     let mut extra = TelemetrySnapshot::new();
     for (name, value) in [
-        ("operations", plan.operations()),
-        ("injected_latency_ops", plan.injected_latency_ops()),
-        ("injected_latency_ns", plan.injected_latency_ns()),
-        ("injected_errors", plan.injected_errors()),
-        ("injected_overloads", plan.injected_overloads()),
+        (metrics::suffix::OPERATIONS, plan.operations()),
+        (
+            metrics::suffix::INJECTED_LATENCY_OPS,
+            plan.injected_latency_ops(),
+        ),
+        (
+            metrics::suffix::INJECTED_LATENCY_NS,
+            plan.injected_latency_ns(),
+        ),
+        (metrics::suffix::INJECTED_ERRORS, plan.injected_errors()),
+        (
+            metrics::suffix::INJECTED_OVERLOADS,
+            plan.injected_overloads(),
+        ),
     ] {
-        extra
-            .counters
-            .insert(format!("chaos.{label}.{name}"), value);
+        extra.counters.insert(metrics::scoped(prefix, name), value);
     }
     snapshot.merge(&extra);
 }
@@ -299,7 +306,7 @@ pub fn run_tao_chaos(config: &TaoChaosConfig, slo: &SloSpec) -> ChaosOutcome {
         resilient = resilient.with_breaker(Arc::new(CircuitBreaker::with_telemetry(
             breaker,
             &registry,
-            "rpc.breaker",
+            metrics::PREFIX_RPC_BREAKER,
         )));
     }
     let service = ChaosTaoService {
@@ -326,8 +333,8 @@ pub fn run_tao_chaos(config: &TaoChaosConfig, slo: &SloSpec) -> ChaosOutcome {
 
     let slo_attained = slo.evaluate(&load.latency_ns, load.error_rate()).is_met();
     let mut snapshot = registry.snapshot();
-    merge_plan_counters(&mut snapshot, "store", &store_plan);
-    merge_plan_counters(&mut snapshot, "rpc", &rpc_plan);
+    merge_plan_counters(&mut snapshot, metrics::PREFIX_CHAOS_STORE, &store_plan);
+    merge_plan_counters(&mut snapshot, metrics::PREFIX_CHAOS_RPC, &rpc_plan);
     server.shutdown();
     ChaosOutcome {
         load,
@@ -404,7 +411,7 @@ pub fn run_django_chaos(
 
     let slo_attained = slo.evaluate(&load.latency_ns, load.error_rate()).is_met();
     let mut snapshot = registry.snapshot();
-    merge_plan_counters(&mut snapshot, "django", service.plan());
+    merge_plan_counters(&mut snapshot, metrics::PREFIX_CHAOS_DJANGO, service.plan());
     Ok(ChaosOutcome {
         load,
         slo_attained,

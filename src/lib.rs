@@ -32,6 +32,8 @@
 //! # Ok::<(), dcperf::core::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dcperf_core as core;
 pub use dcperf_kvstore as kvstore;
 pub use dcperf_loadgen as loadgen;
@@ -40,5 +42,6 @@ pub use dcperf_platform as platform;
 pub use dcperf_resilience as resilience;
 pub use dcperf_rpc as rpc;
 pub use dcperf_tax as tax;
+pub use dcperf_telemetry as telemetry;
 pub use dcperf_util as util;
 pub use dcperf_workloads as workloads;

@@ -9,6 +9,8 @@
 //! dcperf figures fig2 fig14      # regenerate paper tables/figures
 //! ```
 
+#![forbid(unsafe_code)]
+
 use dcperf::core::{RunConfig, Scale, Suite};
 use dcperf::workloads::register_all;
 
