@@ -126,6 +126,20 @@ pub trait Service: Send + Sync {
     /// Returns a [`ServiceError`] for failed requests; these count against
     /// the error-rate SLO.
     fn call(&self, endpoint: usize, seq: u64) -> Result<usize, ServiceError>;
+
+    /// Executes a pipelined batch of requests, returning one outcome per
+    /// `(endpoint, seq)` element in order.
+    ///
+    /// The default issues the batch sequentially through
+    /// [`Service::call`], so plain services work unchanged; services
+    /// backed by a pipelined transport override this to keep the whole
+    /// batch in flight on one connection.
+    fn call_many(&self, batch: &[(usize, u64)]) -> Vec<Result<usize, ServiceError>> {
+        batch
+            .iter()
+            .map(|&(endpoint, seq)| self.call(endpoint, seq))
+            .collect()
+    }
 }
 
 /// A weighted set of endpoints (e.g. Instagram's `feed`, `timeline`,
@@ -312,19 +326,32 @@ pub struct ClosedLoop {
     workers: usize,
     duration: Duration,
     max_requests: Option<u64>,
+    pipeline_depth: usize,
     telemetry: Option<Telemetry>,
 }
 
 impl ClosedLoop {
-    /// Creates a driver over `mix` with defaults (4 workers, 1 s).
+    /// Creates a driver over `mix` with defaults (4 workers, 1 s,
+    /// pipeline depth 1).
     pub fn new(mix: EndpointMix) -> Self {
         Self {
             mix,
             workers: 4,
             duration: Duration::from_secs(1),
             max_requests: None,
+            pipeline_depth: 1,
             telemetry: None,
         }
+    }
+
+    /// Sets how many requests each worker keeps in flight per turn
+    /// (builder style; clamped to ≥ 1). Depths above 1 drive the service
+    /// through [`Service::call_many`] in bursts; the recorded latency is
+    /// then the full batch turn per request, honestly reflecting the
+    /// latency a pipelined request observes waiting for its burst.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
     }
 
     /// Records the run onto `telemetry` instead of a private registry
@@ -370,29 +397,44 @@ impl ClosedLoop {
                 let stop = &stop;
                 let issued = &issued;
                 let deadline = started + self.duration;
+                let depth = self.pipeline_depth;
                 scope.spawn(move || loop {
                     // ordering: advisory stop flag; a stale read costs one extra call
                     if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
                         break;
                     }
-                    // ordering: seq only claims a unique slot in the call budget
-                    let seq = issued.fetch_add(1, Ordering::Relaxed);
-                    if seq >= budget {
-                        // ordering: advisory stop flag; scope join is the real barrier
-                        stop.store(true, Ordering::Relaxed);
+                    // Claim up to `depth` call-budget slots for this turn.
+                    let mut batch = Vec::with_capacity(depth);
+                    for _ in 0..depth {
+                        // ordering: seq only claims a unique slot in the call budget
+                        let seq = issued.fetch_add(1, Ordering::Relaxed);
+                        if seq >= budget {
+                            // ordering: advisory stop flag; scope join is the real barrier
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        batch.push((mix.sample(&mut rng), seq));
+                    }
+                    if batch.is_empty() {
                         break;
                     }
-                    let endpoint = mix.sample(&mut rng);
                     let t0 = Instant::now();
-                    match service.call(endpoint, seq) {
-                        Ok(bytes) => {
-                            recorder.latency.record(t0.elapsed().as_nanos() as u64);
-                            recorder.completed.inc();
-                            recorder.bytes.add(bytes as u64);
-                            recorder.per_endpoint[endpoint].inc();
-                        }
-                        Err(e) => {
-                            recorder.record_failure(e.kind);
+                    let outcomes = service.call_many(&batch);
+                    // Every request in the burst waited for the whole turn;
+                    // record the turn latency per request so pipelining's
+                    // latency cost is visible, not hidden.
+                    let turn_ns = t0.elapsed().as_nanos() as u64;
+                    for (&(endpoint, _), outcome) in batch.iter().zip(outcomes) {
+                        match outcome {
+                            Ok(bytes) => {
+                                recorder.latency.record(turn_ns);
+                                recorder.completed.inc();
+                                recorder.bytes.add(bytes as u64);
+                                recorder.per_endpoint[endpoint].inc();
+                            }
+                            Err(e) => {
+                                recorder.record_failure(e.kind);
+                            }
                         }
                     }
                 });
@@ -414,12 +456,13 @@ pub struct OpenLoop {
     duration: Duration,
     offered_rps: f64,
     queue_depth: usize,
+    pipeline_depth: usize,
     telemetry: Option<Telemetry>,
 }
 
 impl OpenLoop {
     /// Creates a driver over `mix` at `offered_rps` with defaults
-    /// (4 workers, 1 s, queue depth 1024).
+    /// (4 workers, 1 s, queue depth 1024, pipeline depth 1).
     pub fn new(mix: EndpointMix, offered_rps: f64) -> Self {
         Self {
             mix,
@@ -427,8 +470,19 @@ impl OpenLoop {
             duration: Duration::from_secs(1),
             offered_rps: offered_rps.max(1.0),
             queue_depth: 1024,
+            pipeline_depth: 1,
             telemetry: None,
         }
+    }
+
+    /// Sets how many queued arrivals a worker drains into one pipelined
+    /// [`Service::call_many`] burst (builder style; clamped to ≥ 1).
+    /// Workers never *wait* to fill a burst — they take whatever has
+    /// already arrived — so light load degenerates to single calls and
+    /// latency still counts from each arrival's scheduled instant.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
     }
 
     /// Records the run onto `telemetry` instead of a private registry
@@ -508,20 +562,44 @@ impl OpenLoop {
             for _ in 0..self.workers {
                 let recorder = &recorder;
                 let rx = rx.clone();
+                let depth = self.pipeline_depth;
                 scope.spawn(move || loop {
                     match rx.recv_timeout(Duration::from_millis(50)) {
-                        Ok((endpoint, seq, scheduled)) => match service.call(endpoint, seq) {
-                            Ok(bytes) => {
-                                let lat = Instant::now().saturating_duration_since(scheduled);
-                                recorder.latency.record(lat.as_nanos() as u64);
-                                recorder.completed.inc();
-                                recorder.bytes.add(bytes as u64);
-                                recorder.per_endpoint[endpoint].inc();
+                        Ok(first) => {
+                            // Drain whatever else already arrived, up to the
+                            // pipeline depth — opportunistic, never waiting.
+                            let mut arrivals = vec![first];
+                            while arrivals.len() < depth {
+                                match rx.try_recv() {
+                                    Ok(a) => arrivals.push(a),
+                                    Err(_) => break,
+                                }
                             }
-                            Err(e) => {
-                                recorder.record_failure(e.kind);
+                            let batch: Vec<(usize, u64)> = arrivals
+                                .iter()
+                                .map(|&(endpoint, seq, _)| (endpoint, seq))
+                                .collect();
+                            let outcomes = service.call_many(&batch);
+                            let now = Instant::now();
+                            for (&(endpoint, _, scheduled), outcome) in
+                                arrivals.iter().zip(outcomes)
+                            {
+                                match outcome {
+                                    Ok(bytes) => {
+                                        // From scheduled arrival, so queueing
+                                        // and burst-wait delay both count.
+                                        let lat = now.saturating_duration_since(scheduled);
+                                        recorder.latency.record(lat.as_nanos() as u64);
+                                        recorder.completed.inc();
+                                        recorder.bytes.add(bytes as u64);
+                                        recorder.per_endpoint[endpoint].inc();
+                                    }
+                                    Err(e) => {
+                                        recorder.record_failure(e.kind);
+                                    }
+                                }
                             }
-                        },
+                        }
                         Err(RecvTimeoutError::Timeout) => {
                             if Instant::now() >= deadline {
                                 break;
@@ -847,6 +925,95 @@ mod tests {
         );
         assert!(result.peak_rps.is_none());
         assert_eq!(result.trials.len(), 1);
+    }
+
+    /// A batch-aware service that records every burst size it saw.
+    struct BatchProbe {
+        burst_sizes: std::sync::Mutex<Vec<usize>>,
+    }
+
+    impl BatchProbe {
+        fn new() -> Self {
+            Self {
+                burst_sizes: std::sync::Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl Service for BatchProbe {
+        fn call(&self, endpoint: usize, seq: u64) -> Result<usize, ServiceError> {
+            self.call_many(&[(endpoint, seq)]).swap_remove(0)
+        }
+
+        fn call_many(&self, batch: &[(usize, u64)]) -> Vec<Result<usize, ServiceError>> {
+            self.burst_sizes.lock().unwrap().push(batch.len());
+            batch.iter().map(|_| Ok(4)).collect()
+        }
+    }
+
+    #[test]
+    fn default_call_many_maps_to_call() {
+        let svc = Flaky;
+        let outcomes = svc.call_many(&[(0, 0), (0, 1), (0, 4)]);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].is_err(), "seq 0 is a planned failure");
+        assert!(outcomes[1].is_ok());
+        assert!(outcomes[2].is_err(), "seq 4 is a planned failure");
+    }
+
+    #[test]
+    fn closed_loop_pipelined_issues_full_bursts() {
+        let svc = BatchProbe::new();
+        let report = ClosedLoop::new(mix())
+            .workers(2)
+            .pipeline_depth(8)
+            .duration(Duration::from_secs(5))
+            .max_requests(400)
+            .run(&svc, 9);
+        assert!(report.completed >= 393, "completed={}", report.completed);
+        assert_eq!(report.response_bytes, report.completed * 4);
+        let sizes = svc.burst_sizes.lock().unwrap();
+        assert!(
+            sizes.iter().filter(|&&s| s == 8).count() >= 40,
+            "expected mostly full bursts, got {sizes:?}"
+        );
+        // Every burst respects the configured depth.
+        assert!(sizes.iter().all(|&s| s <= 8));
+        let total: u64 = report.per_endpoint.iter().sum();
+        assert_eq!(total, report.completed);
+    }
+
+    #[test]
+    fn closed_loop_depth_one_matches_classic_behavior() {
+        let svc = BatchProbe::new();
+        let report = ClosedLoop::new(mix())
+            .workers(1)
+            .pipeline_depth(1)
+            .duration(Duration::from_secs(5))
+            .max_requests(50)
+            .run(&svc, 10);
+        assert_eq!(report.completed, 50);
+        assert!(svc.burst_sizes.lock().unwrap().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn open_loop_pipelined_drains_bursts_under_load() {
+        // One worker at high offered rate: the queue backs up, so drains
+        // regularly pick up more than one arrival.
+        let svc = BatchProbe::new();
+        let report = OpenLoop::new(mix(), 20_000.0)
+            .workers(1)
+            .pipeline_depth(16)
+            .queue_depth(256)
+            .duration(Duration::from_millis(200))
+            .run(&svc, 11);
+        assert!(report.completed > 0);
+        let sizes = svc.burst_sizes.lock().unwrap();
+        assert!(
+            sizes.iter().any(|&s| s > 1),
+            "expected multi-arrival bursts, got {sizes:?}"
+        );
+        assert!(sizes.iter().all(|&s| s <= 16));
     }
 
     #[test]

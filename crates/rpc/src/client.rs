@@ -1,12 +1,13 @@
 //! RPC clients: in-process and TCP, with parallel fan-out.
 
-use crate::frame::{read_frame, write_frame, Request, Response, RpcError, Status};
+use crate::frame::{append_frame, read_frame, write_frame, Request, Response, RpcError, Status};
 use crate::server::ServerCore;
 use crate::stats::RpcStats;
-use std::io::{BufReader, BufWriter};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Maps a joined thread's panic payload to a typed, non-retryable error
@@ -144,6 +145,97 @@ impl InProcClient {
         self.call_inner(req, false)
     }
 
+    /// Issues a pipelined batch of same-method calls: all requests enter
+    /// the dispatch queue before any reply is awaited, so the batch keeps
+    /// the pool busy without one thread per call. Results come back in
+    /// issue order regardless of completion order (matched by correlation
+    /// id).
+    pub fn call_many(&self, method: &str, bodies: Vec<Vec<u8>>) -> Vec<Result<Response, RpcError>> {
+        self.call_many_inner(method, bodies, None)
+    }
+
+    /// As [`InProcClient::call_many`], with a per-request deadline budget:
+    /// each request in the burst is shed individually once its own budget
+    /// expires.
+    pub fn call_many_with_deadline(
+        &self,
+        method: &str,
+        bodies: Vec<Vec<u8>>,
+        budget: Duration,
+    ) -> Vec<Result<Response, RpcError>> {
+        self.call_many_inner(method, bodies, Some(budget))
+    }
+
+    fn call_many_inner(
+        &self,
+        method: &str,
+        bodies: Vec<Vec<u8>>,
+        budget: Option<Duration>,
+    ) -> Vec<Result<Response, RpcError>> {
+        let n = bodies.len();
+        let mut results: Vec<Option<Result<Response, RpcError>>> = (0..n).map(|_| None).collect();
+        let mut slot_of: HashMap<u64, usize> = HashMap::with_capacity(n);
+        let (tx, rx) = crossbeam::channel::bounded::<(u64, Vec<u8>)>(n.max(1));
+        let mut dispatched = 0usize;
+        for (idx, body) in bodies.into_iter().enumerate() {
+            let mut req = self.build_request(method, body);
+            req.corr = req.seq;
+            if let Some(b) = budget {
+                req = req.with_deadline(b);
+            }
+            // Serialize/deserialize even in-process: the RPC tax is paid
+            // per request, batched or not.
+            let encoded = req.encode();
+            self.core.stats.record_request(encoded.len());
+            let req = match Request::decode(&encoded) {
+                Ok(r) => r,
+                Err(e) => {
+                    results[idx] = Some(Err(RpcError::Wire(e)));
+                    continue;
+                }
+            };
+            slot_of.insert(req.corr, idx);
+            let tx = tx.clone();
+            // The guard rides in the reply closure, so depth accounting
+            // survives sheds (a dropped closure still drops the guard).
+            let guard = self.core.pipeline.track();
+            self.core.dispatch(req, true, move |resp| {
+                let _guard = guard;
+                let _ = tx.send((resp.corr, resp.encode()));
+            });
+            dispatched += 1;
+        }
+        drop(tx);
+        for _ in 0..dispatched {
+            // A recv error means every remaining reply closure was dropped
+            // unsent (shed or shutdown); the unfilled slots below cover it.
+            let Ok((corr, encoded)) = rx.recv() else {
+                break;
+            };
+            let outcome = match Response::decode(&encoded) {
+                Ok(resp) => {
+                    self.core.stats.record_response(encoded.len(), resp.status);
+                    response_to_result(resp)
+                }
+                Err(e) => Err(RpcError::Wire(e)),
+            };
+            if let Some(idx) = slot_of.remove(&corr) {
+                results[idx] = Some(outcome);
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    // Shed without a reply: same overload semantics as a
+                    // dropped single-call reply channel.
+                    self.core.stats.record_response(0, Status::Overloaded);
+                    Err(RpcError::Overloaded)
+                })
+            })
+            .collect()
+    }
+
     /// Issues `calls` in parallel (one thread per call, scoped), modeling
     /// the RPC fan-out of production request trees.
     pub fn fanout(&self, calls: Vec<(String, Vec<u8>)>) -> FanoutResult {
@@ -217,20 +309,29 @@ fn map_io(e: std::io::Error) -> RpcError {
     }
 }
 
-/// A synchronous TCP RPC client (one outstanding call per connection, as
-/// with classic Thrift sync clients; use several clients for parallelism).
+/// A synchronous TCP RPC client. [`TcpClient::call`] keeps one
+/// outstanding call per connection (classic Thrift sync behavior);
+/// [`TcpClient::call_many`] pipelines a batch through an in-flight window
+/// so one connection does the work of N single-call clients.
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     seq: u64,
+    window: usize,
     stats: RpcStats,
 }
 
 impl std::fmt::Debug for TcpClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpClient").field("seq", &self.seq).finish()
+        f.debug_struct("TcpClient")
+            .field("seq", &self.seq)
+            .field("window", &self.window)
+            .finish()
     }
 }
+
+/// Default pipelined in-flight window for [`TcpClient::call_many`].
+pub const DEFAULT_CLIENT_WINDOW: usize = 32;
 
 impl TcpClient {
     /// Connects to a [`TcpServer`](crate::server::TcpServer).
@@ -247,8 +348,17 @@ impl TcpClient {
             reader,
             writer,
             seq: 1,
+            window: DEFAULT_CLIENT_WINDOW,
             stats: RpcStats::new(),
         })
+    }
+
+    /// Sets the pipelined in-flight window used by
+    /// [`TcpClient::call_many`] (builder style; clamped to ≥ 1, where 1
+    /// degenerates to sequential one-request-per-turn calls).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
     }
 
     /// Synchronous call over the connection.
@@ -286,6 +396,10 @@ impl TcpClient {
 
     fn call_request(&mut self, mut req: Request) -> Result<Response, RpcError> {
         req.seq = self.seq;
+        // corr == seq keeps correlation intact against legacy servers,
+        // whose responses decode with `corr` falling back to the echoed
+        // sequence number.
+        req.corr = self.seq;
         self.seq += 1;
         let payload = req.encode();
         self.stats.record_request(payload.len());
@@ -297,12 +411,217 @@ impl TcpClient {
         };
         let resp = Response::decode(&frame)?;
         self.stats.record_response(frame.len(), resp.status);
+        if resp.corr != req.corr {
+            return Err(RpcError::CorrelationMismatch { got: resp.corr });
+        }
         response_to_result(resp)
+    }
+
+    /// Issues a pipelined batch of same-method calls over this single
+    /// connection: up to [`TcpClient::with_window`] requests ride the wire
+    /// concurrently, and the server may complete them out of order.
+    /// Results come back in issue order (matched by correlation id). On a
+    /// transport failure the whole remaining batch fails with duplicates
+    /// of that error — a pipelined connection dies as a unit.
+    pub fn call_many(
+        &mut self,
+        method: &str,
+        bodies: Vec<Vec<u8>>,
+    ) -> Vec<Result<Response, RpcError>> {
+        self.call_many_inner(method, bodies, None)
+    }
+
+    /// As [`TcpClient::call_many`], carrying a per-request deadline budget
+    /// and arming a read timeout sized to the budget so a silent server
+    /// surfaces as [`RpcError::Timeout`].
+    pub fn call_many_with_deadline(
+        &mut self,
+        method: &str,
+        bodies: Vec<Vec<u8>>,
+        budget: Duration,
+    ) -> Vec<Result<Response, RpcError>> {
+        // Grace window past the server-side budget, as in
+        // `call_with_deadline`.
+        let read_timeout = budget + budget / 2 + Duration::from_millis(50);
+        let _ = self.reader.get_ref().set_read_timeout(Some(read_timeout));
+        let results = self.call_many_inner(method, bodies, Some(budget));
+        let _ = self.reader.get_ref().set_read_timeout(None);
+        results
+    }
+
+    fn call_many_inner(
+        &mut self,
+        method: &str,
+        bodies: Vec<Vec<u8>>,
+        budget: Option<Duration>,
+    ) -> Vec<Result<Response, RpcError>> {
+        let n = bodies.len();
+        let mut results: Vec<Option<Result<Response, RpcError>>> = (0..n).map(|_| None).collect();
+        let mut slot_of: HashMap<u64, usize> = HashMap::with_capacity(self.window);
+        let mut pending: VecDeque<(usize, Vec<u8>)> = bodies.into_iter().enumerate().collect();
+        let window = self.window.max(1);
+
+        let failure: Option<RpcError> = 'run: {
+            loop {
+                // Top up the window: encode a burst of frames and push it
+                // with one buffered write + flush.
+                if !pending.is_empty() && slot_of.len() < window {
+                    let mut burst = Vec::new();
+                    while slot_of.len() < window {
+                        let Some((idx, body)) = pending.pop_front() else {
+                            break;
+                        };
+                        let mut req = Request::new(method, body);
+                        if let Some(b) = budget {
+                            req = req.with_deadline(b);
+                        }
+                        req.seq = self.seq;
+                        req.corr = self.seq;
+                        self.seq += 1;
+                        let payload = req.encode();
+                        self.stats.record_request(payload.len());
+                        if let Err(e) = append_frame(&mut burst, &payload) {
+                            break 'run Some(map_io(e));
+                        }
+                        slot_of.insert(req.corr, idx);
+                    }
+                    if let Err(e) = self
+                        .writer
+                        .write_all(&burst)
+                        .and_then(|()| self.writer.flush())
+                    {
+                        break 'run Some(map_io(e));
+                    }
+                }
+                if slot_of.is_empty() {
+                    break 'run None;
+                }
+                // Await any one completion; the server may answer in any
+                // order, so route by correlation id.
+                let frame = match read_frame(&mut self.reader) {
+                    Ok(Some(f)) => f,
+                    Ok(None) => break 'run Some(RpcError::Disconnected),
+                    Err(e) => break 'run Some(map_io(e)),
+                };
+                let resp = match Response::decode(&frame) {
+                    Ok(r) => r,
+                    Err(e) => break 'run Some(RpcError::Wire(e)),
+                };
+                self.stats.record_response(frame.len(), resp.status);
+                let Some(idx) = slot_of.remove(&resp.corr) else {
+                    break 'run Some(RpcError::CorrelationMismatch { got: resp.corr });
+                };
+                results[idx] = Some(response_to_result(resp));
+            }
+        };
+        if let Some(err) = failure {
+            for slot in results.iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(Err(err.duplicate()));
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.unwrap_or(Err(RpcError::Disconnected)))
+            .collect()
     }
 
     /// This connection's counters.
     pub fn stats(&self) -> &RpcStats {
         &self.stats
+    }
+}
+
+/// A fixed-size pool of pipelined TCP connections.
+///
+/// Single calls fan out round-robin across the pool; batched
+/// [`TcpClientPool::call_many`] sends the whole burst down *one*
+/// pipelined connection — the point of multiplexing is that one
+/// connection replaces N pool slots.
+pub struct TcpClientPool {
+    conns: Vec<Mutex<TcpClient>>,
+    cursor: AtomicUsize,
+}
+
+impl std::fmt::Debug for TcpClientPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClientPool")
+            .field("size", &self.conns.len())
+            .finish()
+    }
+}
+
+impl TcpClientPool {
+    /// Opens `size` connections (clamped to ≥ 1) to `addr`, each with the
+    /// pipelined window `window`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first connection error.
+    pub fn connect(addr: SocketAddr, size: usize, window: usize) -> std::io::Result<Self> {
+        let mut conns = Vec::with_capacity(size.max(1));
+        for _ in 0..size.max(1) {
+            conns.push(Mutex::new(TcpClient::connect(addr)?.with_window(window)));
+        }
+        Ok(Self {
+            conns,
+            cursor: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of pooled connections.
+    pub fn size(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn next(&self) -> &Mutex<TcpClient> {
+        // ordering: round-robin cursor only needs per-call uniqueness, not
+        // ordering with other memory
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) % self.conns.len();
+        &self.conns[i]
+    }
+
+    fn lock(conn: &Mutex<TcpClient>) -> std::sync::MutexGuard<'_, TcpClient> {
+        conn.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Single call on the next connection, round-robin.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::call`].
+    pub fn call(&self, method: &str, body: Vec<u8>) -> Result<Response, RpcError> {
+        Self::lock(self.next()).call(method, body)
+    }
+
+    /// Single deadline-carrying call on the next connection, round-robin.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::call_with_deadline`].
+    pub fn call_with_deadline(
+        &self,
+        method: &str,
+        body: Vec<u8>,
+        budget: Duration,
+    ) -> Result<Response, RpcError> {
+        Self::lock(self.next()).call_with_deadline(method, body, budget)
+    }
+
+    /// Pipelines the whole batch down one connection (round-robin pick).
+    pub fn call_many(&self, method: &str, bodies: Vec<Vec<u8>>) -> Vec<Result<Response, RpcError>> {
+        Self::lock(self.next()).call_many(method, bodies)
+    }
+
+    /// As [`TcpClientPool::call_many`] with a per-request deadline budget.
+    pub fn call_many_with_deadline(
+        &self,
+        method: &str,
+        bodies: Vec<Vec<u8>>,
+        budget: Duration,
+    ) -> Vec<Result<Response, RpcError>> {
+        Self::lock(self.next()).call_many_with_deadline(method, bodies, budget)
     }
 }
 

@@ -29,6 +29,11 @@ pub struct Request {
     /// [`Status::DeadlineExceeded`] if it is still queued when the
     /// budget runs out.
     pub deadline_us: u64,
+    /// Correlation id, echoed verbatim in the response so pipelined
+    /// connections can match out-of-order completions back to their
+    /// requests. 0 means "uncorrelated" (one-request-per-turn clients);
+    /// pipelining clients assign unique ids per connection.
+    pub corr: u64,
 }
 
 impl Request {
@@ -40,6 +45,7 @@ impl Request {
             method: method.to_owned(),
             body,
             deadline_us: 0,
+            corr: 0,
         }
     }
 
@@ -60,11 +66,15 @@ impl Request {
         wire::write_str(&mut out, &self.method);
         wire::write_bytes(&mut out, &self.body);
         wire::write_uvarint(&mut out, self.deadline_us);
+        wire::write_uvarint(&mut out, self.corr);
         out
     }
 
-    /// Parses a request payload. Frames from older encoders that lack
-    /// the trailing deadline field decode with no deadline.
+    /// Parses a request payload. The trailing fields were appended over
+    /// protocol revisions, so frames from older encoders decode with
+    /// their defaults: no deadline (v1) and correlation id 0 (v1/v2).
+    /// Newer frames decode on older servers too — v1 decoders ignore
+    /// trailing bytes.
     ///
     /// # Errors
     ///
@@ -74,12 +84,14 @@ impl Request {
         let seq = r.read_uvarint()?;
         let method = r.read_str()?.to_owned();
         let body = r.read_bytes()?.to_vec();
-        let deadline_us = if r.is_empty() { 0 } else { r.read_uvarint()? };
+        let deadline_us = r.read_trailing_uvarint(0)?;
+        let corr = r.read_trailing_uvarint(0)?;
         Ok(Self {
             seq,
             method,
             body,
             deadline_us,
+            corr,
         })
     }
 }
@@ -128,6 +140,11 @@ pub struct Response {
     pub status: Status,
     /// Serialized result payload.
     pub body: Vec<u8>,
+    /// Echo of the request's correlation id. Responses from legacy
+    /// servers decode with `corr == seq`: those servers echo the
+    /// sequence number, and pipelining clients assign `corr = seq`, so
+    /// correlation still resolves across protocol versions.
+    pub corr: u64,
 }
 
 impl Response {
@@ -137,6 +154,7 @@ impl Response {
             seq: 0,
             status: Status::Ok,
             body,
+            corr: 0,
         }
     }
 
@@ -146,6 +164,7 @@ impl Response {
             seq: 0,
             status: Status::Error,
             body: message.as_bytes().to_vec(),
+            corr: 0,
         }
     }
 
@@ -155,6 +174,7 @@ impl Response {
             seq: 0,
             status: Status::Overloaded,
             body: Vec::new(),
+            corr: 0,
         }
     }
 
@@ -164,6 +184,7 @@ impl Response {
             seq: 0,
             status: Status::DeadlineExceeded,
             body: Vec::new(),
+            corr: 0,
         }
     }
 
@@ -178,10 +199,14 @@ impl Response {
         wire::write_uvarint(&mut out, self.seq);
         out.push(self.status.to_byte());
         wire::write_bytes(&mut out, &self.body);
+        wire::write_uvarint(&mut out, self.corr);
         out
     }
 
-    /// Parses a response payload.
+    /// Parses a response payload. The correlation id is a trailing field:
+    /// frames from pre-pipelining servers decode with `corr == seq`, which
+    /// keeps correlation working because those servers echo the sequence
+    /// number and pipelining clients assign `corr = seq`.
     ///
     /// # Errors
     ///
@@ -191,7 +216,13 @@ impl Response {
         let seq = r.read_uvarint()?;
         let status = Status::from_byte(r.read_u8()?)?;
         let body = r.read_bytes()?.to_vec();
-        Ok(Self { seq, status, body })
+        let corr = r.read_trailing_uvarint(seq)?;
+        Ok(Self {
+            seq,
+            status,
+            body,
+            corr,
+        })
     }
 }
 
@@ -211,6 +242,25 @@ pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> std::io::Result<()> {
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()
+}
+
+/// Appends a length-prefixed frame to an in-memory buffer *without*
+/// flushing, so a burst of responses can be coalesced into one
+/// `write_all` syscall (the batching half of pipelining).
+///
+/// # Errors
+///
+/// Returns `InvalidData` if `payload` exceeds [`MAX_FRAME`].
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
 }
 
 /// Reads one length-prefixed frame from a stream. Returns `Ok(None)` on a
@@ -261,6 +311,13 @@ pub enum RpcError {
     WorkerPanic(String),
     /// The server is shutting down or the channel is closed.
     Disconnected,
+    /// A pipelined connection received a response whose correlation id
+    /// matches no in-flight request — the peer is confused or the stream
+    /// is desynchronized, so the connection cannot be trusted.
+    CorrelationMismatch {
+        /// The unmatched correlation id from the wire.
+        got: u64,
+    },
 }
 
 impl RpcError {
@@ -268,8 +325,9 @@ impl RpcError {
     ///
     /// Transient transport and load conditions (overload, timeout, I/O,
     /// disconnect, expired deadline) are retryable; deterministic
-    /// failures (application errors, malformed frames, worker panics)
-    /// and breaker rejections (retrying defeats the breaker) are not.
+    /// failures (application errors, malformed frames, worker panics,
+    /// desynchronized correlation ids) and breaker rejections (retrying
+    /// defeats the breaker) are not.
     pub fn is_retryable(&self) -> bool {
         match self {
             RpcError::Io(_)
@@ -280,7 +338,27 @@ impl RpcError {
             RpcError::Wire(_)
             | RpcError::Application(_)
             | RpcError::CircuitOpen
-            | RpcError::WorkerPanic(_) => false,
+            | RpcError::WorkerPanic(_)
+            | RpcError::CorrelationMismatch { .. } => false,
+        }
+    }
+
+    /// Best-effort copy, for fanning one transport failure out to every
+    /// request it sank with it (a pipelined batch dies as a unit).
+    /// `io::Error` is not `Clone`, so the I/O arm preserves kind and
+    /// message rather than the original error value.
+    pub fn duplicate(&self) -> Self {
+        match self {
+            RpcError::Io(e) => RpcError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            RpcError::Wire(e) => RpcError::Wire(e.clone()),
+            RpcError::Application(m) => RpcError::Application(m.clone()),
+            RpcError::Overloaded => RpcError::Overloaded,
+            RpcError::DeadlineExceeded => RpcError::DeadlineExceeded,
+            RpcError::Timeout => RpcError::Timeout,
+            RpcError::CircuitOpen => RpcError::CircuitOpen,
+            RpcError::WorkerPanic(m) => RpcError::WorkerPanic(m.clone()),
+            RpcError::Disconnected => RpcError::Disconnected,
+            RpcError::CorrelationMismatch { got } => RpcError::CorrelationMismatch { got: *got },
         }
     }
 }
@@ -297,6 +375,9 @@ impl std::fmt::Display for RpcError {
             RpcError::CircuitOpen => write!(f, "rpc call rejected: circuit breaker open"),
             RpcError::WorkerPanic(m) => write!(f, "rpc fan-out worker panicked: {m}"),
             RpcError::Disconnected => write!(f, "rpc peer disconnected"),
+            RpcError::CorrelationMismatch { got } => {
+                write!(f, "rpc response correlation id {got} matches no request")
+            }
         }
     }
 }
@@ -393,6 +474,95 @@ mod tests {
         assert!(!RpcError::CircuitOpen.is_retryable());
         assert!(!RpcError::WorkerPanic("boom".into()).is_retryable());
         assert!(!RpcError::Wire(WireError::UnexpectedEof).is_retryable());
+        assert!(!RpcError::CorrelationMismatch { got: 7 }.is_retryable());
+    }
+
+    #[test]
+    fn request_corr_round_trips() {
+        let mut req = Request::new("get", vec![1, 2]);
+        req.seq = 3;
+        req.corr = u64::MAX;
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(back.corr, u64::MAX);
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn response_corr_round_trips() {
+        let mut resp = Response::ok(vec![5; 10]);
+        resp.seq = 9;
+        resp.corr = 12345;
+        let back = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(back.corr, 12345);
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn legacy_response_without_corr_falls_back_to_seq() {
+        // Re-create the pre-corr encoding by hand: seq, status, body.
+        let mut out = Vec::new();
+        crate::wire::write_uvarint(&mut out, 42);
+        out.push(0); // Status::Ok
+        crate::wire::write_bytes(&mut out, b"payload");
+        let resp = Response::decode(&out).unwrap();
+        assert_eq!(resp.seq, 42);
+        assert_eq!(
+            resp.corr, 42,
+            "legacy responses must correlate by sequence number"
+        );
+    }
+
+    #[test]
+    fn legacy_request_without_corr_decodes_as_uncorrelated() {
+        let mut out = Vec::new();
+        crate::wire::write_uvarint(&mut out, 5);
+        crate::wire::write_str(&mut out, "get");
+        crate::wire::write_bytes(&mut out, b"key");
+        crate::wire::write_uvarint(&mut out, 1_000); // deadline only (v2)
+        let req = Request::decode(&out).unwrap();
+        assert_eq!(req.deadline_us, 1_000);
+        assert_eq!(req.corr, 0);
+    }
+
+    #[test]
+    fn append_frame_matches_write_frame_bytes() {
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, b"abc").unwrap();
+        write_frame(&mut streamed, b"defg").unwrap();
+        let mut appended = Vec::new();
+        append_frame(&mut appended, b"abc").unwrap();
+        append_frame(&mut appended, b"defg").unwrap();
+        assert_eq!(streamed, appended);
+    }
+
+    #[test]
+    fn append_frame_rejects_oversized_payload() {
+        let payload = vec![0u8; MAX_FRAME as usize + 1];
+        let mut out = Vec::new();
+        let err = append_frame(&mut out, &payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(out.is_empty(), "nothing may be appended on rejection");
+    }
+
+    #[test]
+    fn rpc_error_duplicate_preserves_classification() {
+        let errors = [
+            RpcError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, "slow")),
+            RpcError::Wire(WireError::UnexpectedEof),
+            RpcError::Application("boom".into()),
+            RpcError::Overloaded,
+            RpcError::DeadlineExceeded,
+            RpcError::Timeout,
+            RpcError::CircuitOpen,
+            RpcError::WorkerPanic("p".into()),
+            RpcError::Disconnected,
+            RpcError::CorrelationMismatch { got: 8 },
+        ];
+        for e in &errors {
+            let d = e.duplicate();
+            assert_eq!(d.is_retryable(), e.is_retryable(), "{e}");
+            assert_eq!(d.to_string(), e.to_string());
+        }
     }
 
     #[test]

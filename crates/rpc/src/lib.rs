@@ -12,6 +12,10 @@
 //!   ([`Value`]) with tagged struct/list/map encoding, used both as the
 //!   RPC payload format and as the serialization "tax" kernel.
 //! * [`frame`] — request/response message framing.
+//! * [`pipeline`] — pipelining knobs ([`PipelineConfig`]) and the
+//!   `rpc.pipeline.*` / `rpc.batch.*` depth and batching telemetry:
+//!   connections read ahead, complete out of order by correlation id,
+//!   and coalesce response bursts into single writes.
 //! * [`pool`] — fixed worker thread pools with *fast/slow lane* routing,
 //!   mirroring TAO's separate thread pools for cache hits and misses.
 //! * [`server`] / [`client`] — in-process and TCP transports with
@@ -43,6 +47,7 @@
 
 pub mod client;
 pub mod frame;
+pub mod pipeline;
 pub mod pool;
 pub mod resilient;
 pub mod server;
@@ -50,8 +55,9 @@ pub mod stats;
 pub mod value;
 pub mod wire;
 
-pub use client::{FanoutResult, InProcClient, TcpClient};
+pub use client::{FanoutResult, InProcClient, TcpClient, TcpClientPool};
 pub use frame::{Request, Response, RpcError, Status};
+pub use pipeline::{PipelineConfig, PipelineStats};
 pub use pool::{Lane, PoolConfig, ThreadPool};
 pub use resilient::{ResilientClient, ResilientTransport};
 pub use server::{InProcServer, TcpServer};

@@ -32,6 +32,24 @@ pub trait ResilientTransport {
         body: Vec<u8>,
         deadline: Option<Duration>,
     ) -> Result<Response, RpcError>;
+
+    /// Issues one pipelined attempt per body (no retries at this layer).
+    ///
+    /// The default loops [`ResilientTransport::call_once`], so existing
+    /// transports keep working; pipelining transports override it to put
+    /// the whole burst in flight at once. Implementations must return
+    /// exactly one outcome per body, in issue order.
+    fn call_many_once(
+        &self,
+        method: &str,
+        bodies: Vec<Vec<u8>>,
+        deadline: Option<Duration>,
+    ) -> Vec<Result<Response, RpcError>> {
+        bodies
+            .into_iter()
+            .map(|body| self.call_once(method, body, deadline))
+            .collect()
+    }
 }
 
 impl ResilientTransport for crate::client::InProcClient {
@@ -44,6 +62,18 @@ impl ResilientTransport for crate::client::InProcClient {
         match deadline {
             Some(budget) => self.call_with_deadline(method, body, budget),
             None => self.call(method, body),
+        }
+    }
+
+    fn call_many_once(
+        &self,
+        method: &str,
+        bodies: Vec<Vec<u8>>,
+        deadline: Option<Duration>,
+    ) -> Vec<Result<Response, RpcError>> {
+        match deadline {
+            Some(budget) => self.call_many_with_deadline(method, bodies, budget),
+            None => self.call_many(method, bodies),
         }
     }
 }
@@ -61,6 +91,45 @@ impl ResilientTransport for std::sync::Mutex<crate::client::TcpClient> {
         match deadline {
             Some(budget) => client.call_with_deadline(method, body, budget),
             None => client.call(method, body),
+        }
+    }
+
+    fn call_many_once(
+        &self,
+        method: &str,
+        bodies: Vec<Vec<u8>>,
+        deadline: Option<Duration>,
+    ) -> Vec<Result<Response, RpcError>> {
+        let mut client = self.lock().unwrap_or_else(|e| e.into_inner());
+        match deadline {
+            Some(budget) => client.call_many_with_deadline(method, bodies, budget),
+            None => client.call_many(method, bodies),
+        }
+    }
+}
+
+impl ResilientTransport for crate::client::TcpClientPool {
+    fn call_once(
+        &self,
+        method: &str,
+        body: Vec<u8>,
+        deadline: Option<Duration>,
+    ) -> Result<Response, RpcError> {
+        match deadline {
+            Some(budget) => self.call_with_deadline(method, body, budget),
+            None => self.call(method, body),
+        }
+    }
+
+    fn call_many_once(
+        &self,
+        method: &str,
+        bodies: Vec<Vec<u8>>,
+        deadline: Option<Duration>,
+    ) -> Vec<Result<Response, RpcError>> {
+        match deadline {
+            Some(budget) => self.call_many_with_deadline(method, bodies, budget),
+            None => self.call_many(method, bodies),
         }
     }
 }
@@ -202,6 +271,91 @@ impl<C: ResilientTransport> ResilientClient<C> {
         }
     }
 
+    /// Pipelined batch call: all bodies go down as one burst per attempt
+    /// round, retrying only the elements that failed retryably.
+    ///
+    /// Resilience semantics per element match [`ResilientClient::call`]:
+    /// each correlated outcome is recorded against the breaker exactly
+    /// once per attempt (a burst of N failures is N breaker outcomes, not
+    /// N × attempts, and never double-counted within a round), each
+    /// element deposits into the retry budget as its own logical call,
+    /// and each retried element spends its own budget token. The backoff
+    /// schedule is drawn once per batch, so a retry round sleeps once,
+    /// not once per element.
+    pub fn call_many(&self, method: &str, bodies: Vec<Vec<u8>>) -> Vec<Result<Response, RpcError>> {
+        let n = bodies.len();
+        // ordering: call index only seeds jitter; uniqueness is all that matters
+        let call_index = self.calls.fetch_add(1, Ordering::Relaxed);
+        let attempt_seed = self.seed ^ SplitMix64::mix(call_index.wrapping_add(1));
+        let mut delays = self.policy.schedule(attempt_seed);
+        let mut results: Vec<Option<Result<Response, RpcError>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            self.budget.deposit();
+        }
+        let mut outstanding: Vec<(usize, Vec<u8>)> = bodies.into_iter().enumerate().collect();
+        while !outstanding.is_empty() {
+            if !self.breaker.allow() {
+                for (idx, _) in outstanding.drain(..) {
+                    results[idx] = Some(Err(RpcError::CircuitOpen));
+                }
+                break;
+            }
+            let attempt_bodies: Vec<Vec<u8>> =
+                outstanding.iter().map(|(_, body)| body.clone()).collect();
+            let outcomes = self
+                .inner
+                .call_many_once(method, attempt_bodies, self.attempt_deadline);
+            let mut retryable: Vec<(usize, Vec<u8>, RpcError)> = Vec::new();
+            for ((idx, body), outcome) in std::mem::take(&mut outstanding).into_iter().zip(outcomes)
+            {
+                match outcome {
+                    Ok(resp) => {
+                        self.breaker.record_success();
+                        results[idx] = Some(Ok(resp));
+                    }
+                    Err(err) => {
+                        if counts_as_breaker_failure(&err) {
+                            self.breaker.record_failure();
+                        } else {
+                            self.breaker.record_success();
+                        }
+                        if err.is_retryable() {
+                            retryable.push((idx, body, err));
+                        } else {
+                            results[idx] = Some(Err(err));
+                        }
+                    }
+                }
+            }
+            if retryable.is_empty() {
+                break;
+            }
+            let Some(delay) = delays.next() else {
+                // Schedule exhausted: the last errors are final.
+                for (idx, _, err) in retryable {
+                    results[idx] = Some(Err(err));
+                }
+                break;
+            };
+            for (idx, body, err) in retryable {
+                if self.budget.try_spend() {
+                    self.retries.inc();
+                    outstanding.push((idx, body));
+                } else {
+                    self.budget_exhausted.inc();
+                    results[idx] = Some(Err(err));
+                }
+            }
+            if !outstanding.is_empty() && !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.unwrap_or(Err(RpcError::Disconnected)))
+            .collect()
+    }
+
     /// Retries issued across all calls.
     pub fn retries(&self) -> u64 {
         self.retries.get()
@@ -233,7 +387,10 @@ fn counts_as_breaker_failure(err: &RpcError) -> bool {
         | RpcError::Timeout
         | RpcError::Disconnected
         | RpcError::WorkerPanic(_) => true,
-        RpcError::Application(_) | RpcError::Wire(_) | RpcError::CircuitOpen => false,
+        RpcError::Application(_)
+        | RpcError::Wire(_)
+        | RpcError::CircuitOpen
+        | RpcError::CorrelationMismatch { .. } => false,
     }
 }
 

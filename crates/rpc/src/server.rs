@@ -7,14 +7,18 @@
 //! server provides the distributed deployment shape for the benchmarks
 //! whose clients run on other machines.
 
-use crate::frame::{read_frame, write_frame, Request, Response};
+use crate::frame::{append_frame, read_frame, Request, Response};
+use crate::pipeline::{PipelineConfig, PipelineStats};
 use crate::pool::{Lane, PoolConfig, SpawnError, ThreadPool};
 use crate::stats::RpcStats;
+use crossbeam::channel;
 use dcperf_resilience::Deadline;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+#[cfg(feature = "fault-injection")]
+use std::sync::Mutex;
 
 /// The server-side request handler.
 pub type Handler = dyn Fn(&Request) -> Response + Send + Sync + 'static;
@@ -27,6 +31,8 @@ pub(crate) struct ServerCore {
     pub(crate) classifier: Arc<Classifier>,
     pub(crate) pool: ThreadPool,
     pub(crate) stats: Arc<RpcStats>,
+    pub(crate) pipeline: Arc<PipelineStats>,
+    pub(crate) pipeline_cfg: PipelineConfig,
     pub(crate) telemetry: dcperf_telemetry::Telemetry,
     /// Fault injector applied on the dispatch path (chaos scenarios only).
     #[cfg(feature = "fault-injection")]
@@ -34,16 +40,23 @@ pub(crate) struct ServerCore {
 }
 
 /// Builds the shed response for a request whose deadline has expired.
-fn expired_response(seq: u64) -> Response {
+fn expired_response(seq: u64, corr: u64) -> Response {
     let mut resp = Response::deadline_exceeded();
     resp.seq = seq;
+    resp.corr = corr;
     resp
 }
 
 impl ServerCore {
-    fn new(handler: Arc<Handler>, classifier: Arc<Classifier>, config: PoolConfig) -> Self {
-        // One registry per server: transport counters (`rpc.*`) and pool
-        // counters (`rpc.pool.*`) land in the same snapshot.
+    fn new(
+        handler: Arc<Handler>,
+        classifier: Arc<Classifier>,
+        config: PoolConfig,
+        pipeline_cfg: PipelineConfig,
+    ) -> Self {
+        // One registry per server: transport counters (`rpc.*`), pool
+        // counters (`rpc.pool.*`), and pipelining depth (`rpc.pipeline.*`,
+        // `rpc.batch.*`) land in the same snapshot.
         let telemetry = dcperf_telemetry::Telemetry::new();
         Self {
             handler,
@@ -53,6 +66,8 @@ impl ServerCore {
                 &telemetry,
                 dcperf_telemetry::metrics::PREFIX_RPC,
             )),
+            pipeline: Arc::new(PipelineStats::with_telemetry(&telemetry)),
+            pipeline_cfg,
             telemetry,
             #[cfg(feature = "fault-injection")]
             fault_plan: Mutex::new(None),
@@ -79,10 +94,11 @@ impl ServerCore {
         // instant the moment the request enters the server.
         let deadline = (req.deadline_us > 0).then(|| Deadline::from_budget_us(req.deadline_us));
         let seq = req.seq;
+        let corr = req.corr;
         // Shed already-expired work before it consumes queue space.
         if deadline.is_some_and(|d| d.expired()) {
             self.stats.record_deadline_shed();
-            reply(expired_response(seq));
+            reply(expired_response(seq, corr));
             return;
         }
         let lane = (self.classifier)(&req);
@@ -96,7 +112,7 @@ impl ServerCore {
             // gave up on is pure waste.
             if deadline.is_some_and(|d| d.expired()) {
                 stats.record_deadline_shed();
-                reply(expired_response(seq));
+                reply(expired_response(seq, corr));
                 return;
             }
             #[cfg(feature = "fault-injection")]
@@ -107,12 +123,14 @@ impl ServerCore {
                     FaultOutcome::Error => {
                         let mut resp = Response::error("injected fault");
                         resp.seq = seq;
+                        resp.corr = corr;
                         reply(resp);
                         return;
                     }
                     FaultOutcome::Overload => {
                         let mut resp = Response::overloaded();
                         resp.seq = seq;
+                        resp.corr = corr;
                         reply(resp);
                         return;
                     }
@@ -120,12 +138,13 @@ impl ServerCore {
                 // Injected latency may have burned the remaining budget.
                 if deadline.is_some_and(|d| d.expired()) {
                     stats.record_deadline_shed();
-                    reply(expired_response(seq));
+                    reply(expired_response(seq, corr));
                     return;
                 }
             }
             let mut resp = handler(&req);
             resp.seq = seq;
+            resp.corr = corr;
             reply(resp);
         };
         let outcome = if blocking {
@@ -183,6 +202,7 @@ impl InProcServer {
                 Arc::new(handler),
                 Arc::new(classifier),
                 config,
+                PipelineConfig::default(),
             )),
         }
     }
@@ -195,6 +215,12 @@ impl InProcServer {
     /// Transport counters (shared with all clients).
     pub fn stats(&self) -> &RpcStats {
         &self.core.stats
+    }
+
+    /// Pipelining depth and batching telemetry (`rpc.pipeline.*`,
+    /// `rpc.batch.*`), shared with in-process pipelined clients.
+    pub fn pipeline(&self) -> &PipelineStats {
+        &self.core.pipeline
     }
 
     /// The server's telemetry registry (`rpc.*` transport counters and
@@ -251,6 +277,25 @@ impl TcpServer {
         Self::bind_with_classifier(addr, handler, |_| Lane::Fast, config)
     }
 
+    /// Binds with an explicit pipelining configuration (every request
+    /// routed to the fast lane). Use [`PipelineConfig::disabled`] for
+    /// strict one-request-per-turn v1 semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the listener cannot be bound.
+    pub fn bind_with_pipeline<H>(
+        addr: &str,
+        handler: H,
+        config: PoolConfig,
+        pipeline: PipelineConfig,
+    ) -> std::io::Result<Self>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        Self::bind_full(addr, handler, |_| Lane::Fast, config, pipeline)
+    }
+
     /// Binds with a fast/slow classifier.
     ///
     /// # Errors
@@ -266,6 +311,25 @@ impl TcpServer {
         H: Fn(&Request) -> Response + Send + Sync + 'static,
         C: Fn(&Request) -> Lane + Send + Sync + 'static,
     {
+        Self::bind_full(addr, handler, classifier, config, PipelineConfig::default())
+    }
+
+    /// Binds with a classifier and an explicit pipelining configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the listener cannot be bound.
+    pub fn bind_full<H, C>(
+        addr: &str,
+        handler: H,
+        classifier: C,
+        config: PoolConfig,
+        pipeline: PipelineConfig,
+    ) -> std::io::Result<Self>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+        C: Fn(&Request) -> Lane + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -273,6 +337,7 @@ impl TcpServer {
             Arc::new(handler),
             Arc::new(classifier),
             config,
+            pipeline,
         ));
 
         let stop2 = Arc::clone(&stop);
@@ -307,14 +372,100 @@ impl TcpServer {
         })
     }
 
+    /// Serves one connection with a pipelined read-ahead window.
+    ///
+    /// Three moving parts per connection:
+    ///
+    /// * the *reader* (this thread) decodes frames and dispatches them
+    ///   into the worker pool, blocking on a bounded permit channel once
+    ///   `max_inflight` requests are outstanding (the read-ahead window);
+    /// * the *pool workers* complete requests in whatever order their
+    ///   lanes finish them and enqueue encoded responses — out-of-order
+    ///   completion is matched up client-side by correlation id;
+    /// * the *writer thread* drains the response queue, coalescing up to
+    ///   `max_batch` frames into one buffered `write_all` + flush so a
+    ///   burst of completions costs one syscall, not `max_batch`.
+    ///
+    /// With `max_inflight == 1` the window admits a single request at a
+    /// time, which degenerates to the v1 one-request-per-turn behavior
+    /// (responses strictly in request order).
     fn serve_connection(stream: TcpStream, core: Arc<ServerCore>, stop: Arc<AtomicBool>) {
+        let cfg = core.pipeline_cfg;
         // A read timeout lets the loop observe the stop flag even while a
         // client holds the connection open without sending.
         let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
-        let Ok(write_half) = stream.try_clone() else {
+        // Response bursts are small; Nagle + the client's delayed ACK
+        // would park each one for ~40ms otherwise.
+        let _ = stream.set_nodelay(true);
+        let Ok(mut write_half) = stream.try_clone() else {
             return;
         };
-        let writer = Arc::new(Mutex::new(write_half));
+
+        // Encoded responses waiting for the writer. The window bounds how
+        // many can be pending, so the capacity never blocks completions
+        // for long; a dead writer disconnects the channel and sends fail
+        // cleanly instead of blocking forever.
+        let (resp_tx, resp_rx) = channel::bounded::<Vec<u8>>(cfg.max_inflight.max(cfg.max_batch));
+        let pstats = Arc::clone(&core.pipeline);
+        let max_batch = cfg.max_batch;
+        let writer = std::thread::Builder::new()
+            .name("rpc-conn-writer".into())
+            .spawn(move || {
+                let mut buf = Vec::new();
+                while let Ok(first) = resp_rx.recv() {
+                    buf.clear();
+                    let mut batched = 0usize;
+                    if append_frame(&mut buf, &first).is_ok() {
+                        batched = 1;
+                    }
+                    // Opportunistically coalesce whatever has already
+                    // completed, up to the batch cap — never waiting, so
+                    // a lone response still flushes immediately.
+                    while batched < max_batch {
+                        match resp_rx.try_recv() {
+                            Ok(payload) => {
+                                if append_frame(&mut buf, &payload).is_ok() {
+                                    batched += 1;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    if batched == 0 {
+                        continue;
+                    }
+                    if write_half
+                        .write_all(&buf)
+                        .and_then(|()| write_half.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                    pstats.record_flush(batched);
+                }
+            });
+        let Ok(writer) = writer else {
+            return;
+        };
+
+        // The read-ahead window: the reader parks on `send` once
+        // `max_inflight` permits are out; completing (or shedding) a
+        // request returns its permit via the slot guard's drop.
+        let (permit_tx, permit_rx) = channel::bounded::<()>(cfg.max_inflight);
+
+        struct WindowSlot {
+            permits: channel::Receiver<()>,
+            _inflight: crate::pipeline::InflightGuard,
+        }
+        impl Drop for WindowSlot {
+            fn drop(&mut self) {
+                // Each slot owns exactly one queued permit, so this never
+                // misses; dropping the slot (reply sent, request shed, or
+                // closure discarded by a draining pool) reopens the window.
+                let _ = self.permits.try_recv();
+            }
+        }
+
         let mut reader = BufReader::new(stream);
         loop {
             // ordering: advisory stop flag; a stale read serves at most one more frame
@@ -336,14 +487,24 @@ impl TcpServer {
                 Ok(r) => r,
                 Err(_) => break,
             };
-            let writer = Arc::clone(&writer);
+            if permit_tx.send(()).is_err() {
+                break;
+            }
+            let slot = WindowSlot {
+                permits: permit_rx.clone(),
+                _inflight: core.pipeline.track(),
+            };
+            let resp_tx = resp_tx.clone();
             core.dispatch(req, true, move |resp| {
                 let payload = resp.encode();
-                if let Ok(mut w) = writer.lock() {
-                    let _ = write_frame(&mut *w, &payload);
-                }
+                let _ = resp_tx.send(payload);
+                drop(slot);
             });
         }
+        // Dropping our sender lets the writer exit once every in-flight
+        // request has replied (their closures hold the remaining clones).
+        drop(resp_tx);
+        let _ = writer.join();
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -359,6 +520,12 @@ impl TcpServer {
     /// The server's telemetry registry (`rpc.*` and `rpc.pool.*`).
     pub fn telemetry(&self) -> &dcperf_telemetry::Telemetry {
         &self.core.telemetry
+    }
+
+    /// Pipelining depth and batching telemetry (`rpc.pipeline.*`,
+    /// `rpc.batch.*`) across all connections.
+    pub fn pipeline(&self) -> &PipelineStats {
+        &self.core.pipeline
     }
 
     /// Installs (or clears) a fault plan on the dispatch path; see

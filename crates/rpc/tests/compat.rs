@@ -1,0 +1,102 @@
+//! Wire compatibility across protocol revisions: a v1 client (no
+//! deadline, no correlation id) against the pipelined server, and the
+//! pipelining client against a server running with the window disabled.
+
+use dcperf_rpc::frame::{read_frame, write_frame};
+use dcperf_rpc::{wire, PipelineConfig, PoolConfig, Request, Response, TcpClient, TcpServer};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn start_server(pipeline: PipelineConfig) -> TcpServer {
+    TcpServer::bind_with_pipeline(
+        "127.0.0.1:0",
+        |req: &Request| Response::ok(req.body.clone()),
+        PoolConfig::single_lane(2).with_queue_depth(64),
+        pipeline,
+    )
+    .expect("bind echo server")
+}
+
+/// Encodes a request exactly as the v1 protocol did: seq, method, body —
+/// no trailing deadline, no trailing correlation id.
+fn encode_v1_request(seq: u64, method: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    wire::write_uvarint(&mut out, seq);
+    wire::write_str(&mut out, method);
+    wire::write_bytes(&mut out, body);
+    out
+}
+
+#[test]
+fn v1_client_works_against_pipelined_server() {
+    let server = start_server(PipelineConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+
+    for seq in 1..=5u64 {
+        let body = seq.to_le_bytes().to_vec();
+        let mut frame_bytes = Vec::new();
+        write_frame(&mut frame_bytes, &encode_v1_request(seq, "echo", &body))
+            .expect("encode v1 frame");
+        stream.write_all(&frame_bytes).expect("send");
+
+        let frame = read_frame(&mut reader).expect("read").expect("open");
+        // A v1 client only understands seq, status, body; the trailing
+        // corr the new server appends must be ignorable, and the visible
+        // prefix identical to what a v1 server would have sent.
+        let resp = Response::decode(&frame).expect("decodes");
+        assert_eq!(resp.seq, seq);
+        assert!(resp.is_ok());
+        assert_eq!(resp.body, body);
+        // An uncorrelated (corr == 0) request echoes corr 0: the v1
+        // fallback path on the decode side then resolves corr = seq.
+        let mut v1_visible = Vec::new();
+        wire::write_uvarint(&mut v1_visible, resp.seq);
+        v1_visible.push(frame[v1_visible.len()]); // status byte
+        wire::write_bytes(&mut v1_visible, &resp.body);
+        assert_eq!(
+            &frame[..v1_visible.len()],
+            &v1_visible[..],
+            "v1-visible prefix must be unchanged"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelining_client_works_against_disabled_server() {
+    let server = start_server(PipelineConfig::disabled());
+    let mut client = TcpClient::connect(server.local_addr())
+        .expect("connect")
+        .with_window(8);
+
+    // Single calls.
+    for i in 0..4u64 {
+        let resp = client.call("echo", i.to_le_bytes().to_vec()).expect("call");
+        assert_eq!(resp.body, i.to_le_bytes().to_vec());
+    }
+
+    // A full batch: the disabled server serves the window one at a time
+    // (in order), which the correlation matching handles transparently.
+    let bodies: Vec<Vec<u8>> = (0..8u64).map(|i| i.to_le_bytes().to_vec()).collect();
+    for (i, outcome) in client.call_many("echo", bodies).into_iter().enumerate() {
+        let resp = outcome.expect("batched call against disabled server succeeds");
+        assert_eq!(resp.body, (i as u64).to_le_bytes().to_vec());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn legacy_response_resolves_corr_to_seq_client_side() {
+    // A pre-pipelining server echoes seq but appends no corr field; the
+    // decode fallback must keep single-request-per-turn clients working.
+    let mut legacy = Vec::new();
+    wire::write_uvarint(&mut legacy, 42);
+    legacy.push(0); // Status::Ok
+    wire::write_bytes(&mut legacy, b"payload");
+    let resp = Response::decode(&legacy).expect("legacy frame decodes");
+    assert_eq!(resp.seq, 42);
+    assert_eq!(resp.corr, 42, "corr falls back to seq for legacy frames");
+    assert_eq!(resp.body, b"payload");
+}

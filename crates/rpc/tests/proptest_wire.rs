@@ -2,6 +2,7 @@
 //! and frames all round-trip, and decoders reject garbage without
 //! panicking.
 
+use dcperf_rpc::wire::WireError;
 use dcperf_rpc::{frame, Request, Response, Value};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -48,8 +49,9 @@ proptest! {
         method in "[a-z_]{1,24}",
         body in proptest::collection::vec(any::<u8>(), 0..256),
         deadline_us in any::<u64>(),
+        corr in any::<u64>(),
     ) {
-        let req = Request { seq, method, body, deadline_us };
+        let req = Request { seq, method, body, deadline_us, corr };
         prop_assert_eq!(Request::decode(&req.encode()).expect("decodes"), req);
     }
 
@@ -58,6 +60,7 @@ proptest! {
         seq in any::<u64>(),
         body in proptest::collection::vec(any::<u8>(), 0..256),
         kind in 0u8..4,
+        corr in any::<u64>(),
     ) {
         let mut resp = match kind {
             0 => Response::ok(body),
@@ -66,7 +69,23 @@ proptest! {
             _ => Response::overloaded(),
         };
         resp.seq = seq;
+        resp.corr = corr;
         prop_assert_eq!(Response::decode(&resp.encode()).expect("decodes"), resp);
+    }
+
+    /// Correlation ids survive the round trip independently of seq: the
+    /// multiplexing layer relies on the two fields never aliasing.
+    #[test]
+    fn corr_and_seq_are_independent(
+        seq in any::<u64>(),
+        corr in any::<u64>(),
+        method in "[a-z_]{1,12}",
+    ) {
+        let req = Request { seq, method, body: vec![], deadline_us: 7, corr };
+        let back = Request::decode(&req.encode()).expect("decodes");
+        prop_assert_eq!(back.seq, seq);
+        prop_assert_eq!(back.corr, corr);
+        prop_assert_eq!(back.deadline_us, 7);
     }
 
     #[test]
@@ -90,5 +109,83 @@ proptest! {
     fn request_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = Request::decode(&data);
         let _ = Response::decode(&data);
+    }
+
+    /// Byte-mutation fuzz: flipping any byte of a valid encoding (or
+    /// truncating it) must either still decode or fail with a *typed*
+    /// [`WireError`] — never a panic, never a mystery error.
+    #[test]
+    fn mutated_requests_fail_typed(
+        seq in any::<u64>(),
+        method in "[a-z_]{1,16}",
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        deadline_us in any::<u64>(),
+        corr in any::<u64>(),
+        flip_at in any::<usize>(),
+        flip_bits in 1u8..255,
+        truncate_to in any::<usize>(),
+    ) {
+        let req = Request { seq, method, body, deadline_us, corr };
+        let mut bytes = req.encode();
+
+        // Single-byte mutation.
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= flip_bits;
+        match Request::decode(&bytes) {
+            Ok(_) => {} // mutation landed in a don't-care position
+            Err(e) => prop_assert!(matches!(
+                e,
+                WireError::UnexpectedEof
+                    | WireError::VarintOverflow
+                    | WireError::InvalidLength(_)
+                    | WireError::UnknownTag(_)
+                    | WireError::InvalidUtf8
+            )),
+        }
+
+        // Truncation of the *unmutated* encoding.
+        let intact = req.encode();
+        let cut = truncate_to % (intact.len() + 1);
+        match Request::decode(&intact[..cut]) {
+            // A cut that lands exactly on the end of a trailing optional
+            // field (corr, deadline) still decodes; anything else must be
+            // a typed failure.
+            Ok(back) => prop_assert_eq!(back.seq, seq),
+            Err(e) => prop_assert!(matches!(
+                e,
+                WireError::UnexpectedEof
+                    | WireError::VarintOverflow
+                    | WireError::InvalidLength(_)
+                    | WireError::UnknownTag(_)
+                    | WireError::InvalidUtf8
+            )),
+        }
+    }
+
+    #[test]
+    fn mutated_responses_fail_typed(
+        seq in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        corr in any::<u64>(),
+        flip_at in any::<usize>(),
+        flip_bits in 1u8..255,
+    ) {
+        let mut resp = Response::ok(body);
+        resp.seq = seq;
+        resp.corr = corr;
+        let mut bytes = resp.encode();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= flip_bits;
+        match Response::decode(&bytes) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(matches!(
+                e,
+                WireError::UnexpectedEof
+                    | WireError::VarintOverflow
+                    | WireError::InvalidLength(_)
+                    | WireError::UnknownTag(_)
+                    | WireError::InvalidUtf8
+            )),
+        }
     }
 }

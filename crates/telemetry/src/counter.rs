@@ -80,6 +80,13 @@ impl Gauge {
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
+
+    /// Raises the level to `v` if `v` is higher (running-maximum gauges,
+    /// e.g. peak in-flight depth). A single wait-free `fetch_max`, so
+    /// concurrent maxima never regress each other.
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +112,36 @@ mod tests {
         assert_eq!(g.get(), 7);
         g.set(-2);
         assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn gauge_set_max_only_raises() {
+        let g = Gauge::new();
+        g.set_max(5);
+        assert_eq!(g.get(), 5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5, "lower candidate must not regress the peak");
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn gauge_set_max_is_thread_safe() {
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        g.set_max(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 7999);
     }
 
     #[test]

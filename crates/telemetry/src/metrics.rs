@@ -45,6 +45,10 @@ pub const PREFIX_RPC: &str = "rpc";
 pub const PREFIX_RPC_POOL: &str = "rpc.pool";
 /// The resilient client's circuit breaker, sharing the server registry.
 pub const PREFIX_RPC_BREAKER: &str = "rpc.breaker";
+/// Pipelined-connection depth tracking (`inflight`, `inflight_peak`).
+pub const PREFIX_RPC_PIPELINE: &str = "rpc.pipeline";
+/// Batched response-burst writes (`flushes`, `responses`).
+pub const PREFIX_RPC_BATCH: &str = "rpc.batch";
 /// Retries performed by the resilient client.
 pub const RPC_RESILIENT_RETRIES: &str = "rpc.resilient.retries";
 /// Calls abandoned because the retry budget was exhausted.
@@ -94,6 +98,12 @@ pub mod suffix {
     pub const SLOW_JOBS: &str = "slow_jobs";
     /// Jobs rejected because a lane queue was full.
     pub const SHED_JOBS: &str = "shed_jobs";
+    /// Requests currently in flight on pipelined connections (gauge).
+    pub const INFLIGHT: &str = "inflight";
+    /// Highest in-flight depth observed (running-maximum gauge).
+    pub const INFLIGHT_PEAK: &str = "inflight_peak";
+    /// Coalesced response-burst writes to the transport.
+    pub const FLUSHES: &str = "flushes";
     /// Breaker transitions to open.
     pub const OPEN_TRANSITIONS: &str = "open_transitions";
     /// Breaker transitions to half-open.
@@ -161,6 +171,8 @@ mod tests {
             PREFIX_RPC,
             PREFIX_RPC_POOL,
             PREFIX_RPC_BREAKER,
+            PREFIX_RPC_PIPELINE,
+            PREFIX_RPC_BATCH,
             RPC_RESILIENT_RETRIES,
             RPC_RESILIENT_BUDGET_EXHAUSTED,
             PREFIX_RESILIENCE_BREAKER,

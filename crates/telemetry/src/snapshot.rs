@@ -74,6 +74,11 @@ impl TelemetrySnapshot {
         self.counters.get(name).copied()
     }
 
+    /// Convenience gauge lookup.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
     /// Convenience histogram-digest lookup.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
         self.histograms.get(name)

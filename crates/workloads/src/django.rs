@@ -41,6 +41,9 @@ pub struct DjangoBenchConfig {
     pub zipf_exponent: f64,
     /// Base measurement duration (scaled by run scale).
     pub base_duration: Duration,
+    /// Requests each load-generator worker keeps in flight per turn; 1 is
+    /// the classic one-request-per-turn mode.
+    pub pipeline_depth: usize,
 }
 
 impl Default for DjangoBenchConfig {
@@ -50,6 +53,7 @@ impl Default for DjangoBenchConfig {
             columns_per_user: 64,
             zipf_exponent: 0.9,
             base_duration: Duration::from_millis(400),
+            pipeline_depth: 1,
         }
     }
 }
@@ -270,6 +274,7 @@ impl Benchmark for DjangoBench {
         let duration = self.config.base_duration * scale.min(16) as u32;
         let load = ClosedLoop::new(mix)
             .workers(threads)
+            .pipeline_depth(self.config.pipeline_depth)
             .duration(duration)
             .telemetry(ctx.telemetry())
             .run(&app, seed);
@@ -278,6 +283,7 @@ impl Benchmark for DjangoBench {
         report.param("workers", threads as u64);
         report.param("users_per_worker", users_per_worker);
         report.param("columns_per_user", self.config.columns_per_user);
+        report.param("pipeline_depth", self.config.pipeline_depth as u64);
         report.metric("requests_per_second", load.throughput_rps());
         report.metric("total_requests", load.completed);
         report.metric("error_rate", load.error_rate());

@@ -54,6 +54,9 @@ pub struct FeedSimConfig {
     pub start_rps: f64,
     /// Upper bound on offered load.
     pub max_rps: f64,
+    /// Queued arrivals each open-loop worker drains into one pipelined
+    /// burst; 1 is the classic one-request-per-turn mode.
+    pub pipeline_depth: usize,
 }
 
 impl Default for FeedSimConfig {
@@ -66,6 +69,7 @@ impl Default for FeedSimConfig {
             trial_duration: Duration::from_millis(350),
             start_rps: 40.0,
             max_rps: 200_000.0,
+            pipeline_depth: 1,
         }
     }
 }
@@ -306,6 +310,7 @@ impl Benchmark for FeedSim {
         let trial_duration = self.config.trial_duration;
         let agg = Arc::clone(&aggregator);
         let mut trial_seed = seed;
+        let pipeline_depth = self.config.pipeline_depth;
         let search = find_peak_load(
             self.config.start_rps,
             self.config.max_rps,
@@ -314,6 +319,7 @@ impl Benchmark for FeedSim {
                 trial_seed = trial_seed.wrapping_add(0x9E37);
                 OpenLoop::new(mix.clone(), rate)
                     .workers(threads)
+                    .pipeline_depth(pipeline_depth)
                     .duration(trial_duration)
                     .queue_depth(4096)
                     .run(agg.as_ref(), trial_seed)
@@ -326,6 +332,7 @@ impl Benchmark for FeedSim {
         report.param("leaf_shards", LEAF_SHARDS as u64);
         report.param("candidates", self.config.candidates as u64);
         report.param("slo_p95_ms", slo);
+        report.param("pipeline_depth", self.config.pipeline_depth as u64);
         report.param("search_trials", search.trials.len() as u64);
 
         let (peak, best) = match (search.peak_rps, search.best_report) {

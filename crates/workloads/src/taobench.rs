@@ -41,6 +41,10 @@ pub struct TaoBenchConfig {
     pub db_latency: Duration,
     /// Base measurement duration (scaled by the run scale).
     pub base_duration: Duration,
+    /// Requests each load-generator worker keeps in flight per turn; 1 is
+    /// the classic one-request-per-turn memtier mode, larger values
+    /// exercise the pipelined RPC path.
+    pub pipeline_depth: usize,
 }
 
 impl Default for TaoBenchConfig {
@@ -52,6 +56,7 @@ impl Default for TaoBenchConfig {
             get_fraction: 0.95,
             db_latency: Duration::from_micros(150),
             base_duration: Duration::from_millis(400),
+            pipeline_depth: 1,
         }
     }
 }
@@ -102,6 +107,41 @@ impl Service for TaoClient {
             Ok(resp) => Ok(resp.body.len()),
             Err(e) => Err(ServiceError::new(e.to_string())),
         }
+    }
+
+    fn call_many(&self, batch: &[(usize, u64)]) -> Vec<Result<usize, ServiceError>> {
+        // Group the burst by method so each group rides one pipelined
+        // multiplexed dispatch, then scatter results back in issue order.
+        let mut gets: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut sets: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (idx, &(endpoint, seq)) in batch.iter().enumerate() {
+            let key = self.key_for(seq).to_le_bytes().to_vec();
+            if endpoint == 0 {
+                gets.push((idx, key));
+            } else {
+                let mut body = key.clone();
+                body.extend_from_slice(&self.store.synthesize_for_key(&key));
+                sets.push((idx, body));
+            }
+        }
+        let mut results: Vec<Option<Result<usize, ServiceError>>> = vec![None; batch.len()];
+        for (method, group) in [("get", gets), ("set", sets)] {
+            if group.is_empty() {
+                continue;
+            }
+            let bodies: Vec<Vec<u8>> = group.iter().map(|(_, b)| b.clone()).collect();
+            let outcomes = self.rpc.call_many(method, bodies);
+            for ((idx, _), outcome) in group.into_iter().zip(outcomes) {
+                results[idx] = Some(match outcome {
+                    Ok(resp) => Ok(resp.body.len()),
+                    Err(e) => Err(ServiceError::new(e.to_string())),
+                });
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| Err(ServiceError::new("request dropped from batch"))))
+            .collect()
     }
 }
 
@@ -195,6 +235,7 @@ impl Benchmark for TaoBench {
         .map_err(|e| Error::Config(e.to_string()))?;
         ClosedLoop::new(mix.clone())
             .workers(threads)
+            .pipeline_depth(self.config.pipeline_depth)
             .duration(self.config.base_duration / 4)
             .run(&client, seed ^ 0xAAAA);
         let warm_hits = cache.stats().hits();
@@ -206,6 +247,7 @@ impl Benchmark for TaoBench {
         report.param("fast_threads", fast_threads as u64);
         report.param("slow_threads", slow_threads as u64);
         report.param("client_threads", threads as u64);
+        report.param("pipeline_depth", self.config.pipeline_depth as u64);
         report.param("zipf_exponent", self.config.zipf_exponent);
 
         let duration = self.config.base_duration * scale.min(16) as u32;
@@ -213,6 +255,7 @@ impl Benchmark for TaoBench {
         // kept its own, so warmup traffic stays out of the snapshot).
         let load = ClosedLoop::new(mix)
             .workers(threads)
+            .pipeline_depth(self.config.pipeline_depth)
             .duration(duration)
             .telemetry(ctx.telemetry())
             .run(&client, seed);
@@ -268,6 +311,25 @@ mod tests {
         );
         assert_eq!(report.metric_f64("error_rate"), Some(0.0));
         assert!(report.metric_f64("request_p95_ms").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn pipelined_run_matches_classic_semantics() {
+        // Depth 8 batches bursts down the multiplexed RPC path; the mix,
+        // hit-rate band, and error-free completion must be unchanged.
+        let bench = TaoBench::with_config(TaoBenchConfig {
+            pipeline_depth: 8,
+            ..smoke_config()
+        });
+        let mut ctx = RunContext::new(RunConfig::smoke_test().with_threads(4), "taobench");
+        let report = bench.run(&mut ctx).expect("pipelined taobench runs");
+        assert_eq!(report.metric_f64("error_rate"), Some(0.0));
+        let hit_rate = report.metric_f64("cache_hit_rate").unwrap();
+        assert!(
+            (0.3..=0.999).contains(&hit_rate),
+            "hit rate {hit_rate} out of expected band"
+        );
+        assert!(report.metric_f64("requests_per_second").unwrap() > 1_000.0);
     }
 
     #[test]
