@@ -1,25 +1,132 @@
 //! A single LRU shard: hash map + intrusive recency list over a slab.
 //!
 //! Kept lock-free internally; [`Cache`](crate::Cache) wraps each shard in
-//! its own mutex so independent keys proceed in parallel, which is what
-//! lets the cache scale on many-core machines (the scalability property
-//! CloudSuite's data-caching benchmark lacks, per §4.6 of the paper).
+//! a reader-writer lock so independent keys — and concurrent hits on the
+//! *same* key — proceed in parallel, which is what lets the cache scale
+//! on many-core machines (the scalability property CloudSuite's
+//! data-caching benchmark lacks, per §4.6 of the paper).
+//!
+//! Two read APIs exist: [`Shard::get`] is the classic exclusive-access
+//! lookup that refreshes recency inline (the exact-LRU oracle used by
+//! tests and the `bench_kvstore` baseline), and [`Shard::peek`] is the
+//! shared-access lookup used by the cache's read path: it returns the
+//! value plus a stamped [`Touch`] token, and the recency refresh is
+//! applied later in a batch via [`Shard::apply_touches`] under the write
+//! lock.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::Arc;
 
 const NIL: u32 = u32::MAX;
 
+/// Multiply-rotate seed shared by the shard map hasher and the cache's
+/// shard selector (which starts from a different initial state and folds
+/// in the high bits, so bucket and shard choices stay uncorrelated).
+pub(crate) const KEY_HASH_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Word-at-a-time multiply-rotate hasher (FxHash-style) for the shard's
+/// key map. Cache keys are short internal workload identifiers (8–40
+/// bytes), hashed in one or two multiplies — several times faster than
+/// the default SipHash, whose hash-flooding resistance buys nothing
+/// here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeyBuildHasher;
+
+/// Streaming state produced by [`KeyBuildHasher`].
+#[derive(Debug)]
+pub struct KeyHasher(u64);
+
+/// One multiply-rotate mixing step over a 64-bit word.
+pub(crate) fn key_hash_step(state: u64, word: u64) -> u64 {
+    (state.rotate_left(5) ^ word).wrapping_mul(KEY_HASH_SEED)
+}
+
+/// Folds `bytes` into `state`, eight bytes at a time.
+pub(crate) fn key_hash_bytes(mut state: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(chunk);
+        state = key_hash_step(state, u64::from_le_bytes(word));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut word = [0u8; 8];
+        word[..rem.len()].copy_from_slice(rem);
+        // Tag the tail with its length so "ab" and "ab\0" differ.
+        state = key_hash_step(state, u64::from_le_bytes(word) ^ (rem.len() as u64) << 56);
+    }
+    state
+}
+
+impl Hasher for KeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.0 = key_hash_bytes(self.0, bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl BuildHasher for KeyBuildHasher {
+    type Hasher = KeyHasher;
+
+    fn build_hasher(&self) -> KeyHasher {
+        KeyHasher(0)
+    }
+}
+
 /// Fixed per-entry bookkeeping charge (slab links, map entry, TTL),
 /// approximating a production cache's metadata overhead.
-const ENTRY_OVERHEAD: usize = 64;
+pub const ENTRY_OVERHEAD: usize = 64;
 
 #[derive(Debug)]
 struct Entry {
     key: Box<[u8]>,
-    value: Vec<u8>,
+    /// Values are shared slices so a hit hands out a reference-counted
+    /// handle instead of copying the bytes — the read path's "zero-copy
+    /// hits" property.
+    value: Arc<[u8]>,
     expires_at_ms: Option<u64>,
     prev: u32,
     next: u32,
+    /// Slot generation: bumped whenever the slot's occupant is removed,
+    /// so deferred [`Touch`] tokens from a previous occupant are inert.
+    stamp: u32,
+    /// Whether the slot currently holds a live entry.
+    live: bool,
+}
+
+/// A deferred-recency token issued by [`Shard::peek`]: identifies the
+/// touched slot and the generation it was observed at. Applying a stale
+/// token (the slot was removed or reused since) is a harmless no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Touch {
+    idx: u32,
+    stamp: u32,
+}
+
+/// Outcome of a shared-access [`Shard::peek`].
+#[derive(Debug)]
+pub enum Peek {
+    /// The key is resident and live; the caller should enqueue the touch.
+    Hit {
+        /// Shared handle to the cached bytes (no copy is made).
+        value: Arc<[u8]>,
+        /// Deferred-recency token for this lookup.
+        token: Touch,
+    },
+    /// The key is resident but past its TTL: report absent. The entry is
+    /// physically removed (and counted as an expiration) when the token
+    /// is drained through [`Shard::apply_touches`].
+    Expired {
+        /// Token whose drain removes the expired entry.
+        token: Touch,
+    },
+    /// The key is not resident.
+    Miss,
 }
 
 /// An LRU map with byte-based capacity accounting and optional TTLs.
@@ -27,8 +134,8 @@ struct Entry {
 /// All time parameters are milliseconds on a caller-provided clock, which
 /// keeps the shard deterministic under test.
 #[derive(Debug)]
-pub struct Shard {
-    map: HashMap<Box<[u8]>, u32>,
+pub struct Shard<S: BuildHasher = KeyBuildHasher> {
+    map: HashMap<Box<[u8]>, u32, S>,
     slab: Vec<Entry>,
     free: Vec<u32>,
     head: u32,
@@ -37,13 +144,27 @@ pub struct Shard {
     capacity_bytes: usize,
     evictions: u64,
     expirations: u64,
+    /// Reused dedup buffer for [`Shard::apply_touches`], so steady-state
+    /// drains allocate nothing.
+    scratch: Vec<Touch>,
 }
 
 impl Shard {
-    /// Creates a shard bounded to `capacity_bytes` of charged data.
+    /// Creates a shard bounded to `capacity_bytes` of charged data, keyed
+    /// with the default multiply-rotate map hasher.
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_hasher(capacity_bytes, KeyBuildHasher)
+    }
+}
+
+impl<S: BuildHasher> Shard<S> {
+    /// Creates a shard with an explicit key-map hasher. Exists so
+    /// `bench_kvstore` can reconstruct the pre-rewrite baseline (std's
+    /// SipHash `RandomState`) byte-for-byte; production code uses
+    /// [`Shard::new`].
+    pub fn with_hasher(capacity_bytes: usize, hasher: S) -> Self {
         Self {
-            map: HashMap::new(),
+            map: HashMap::with_hasher(hasher),
             slab: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -52,6 +173,7 @@ impl Shard {
             capacity_bytes,
             evictions: 0,
             expirations: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -98,13 +220,21 @@ impl Shard {
         let entry = &mut self.slab[idx as usize];
         self.used_bytes -= Self::charge(&entry.key, &entry.value);
         let key = std::mem::take(&mut entry.key);
-        entry.value = Vec::new();
+        // Drop this slot's handle; the bytes free once the last reader's
+        // clone does (empty `Arc<[u8]>` is allocation-free).
+        entry.value = Arc::default();
+        // Invalidate outstanding touch tokens for this occupant.
+        entry.stamp = entry.stamp.wrapping_add(1);
+        entry.live = false;
         self.map.remove(&key);
         self.free.push(idx);
     }
 
     /// Looks up `key`, refreshing recency. Expired entries are removed and
-    /// reported as absent.
+    /// reported as absent. Returns an owned copy of the value — the
+    /// pre-rewrite contract this path exists to preserve (it is the
+    /// exact-LRU oracle and the `bench_kvstore` baseline); the cache's
+    /// own read path goes through the zero-copy [`Shard::peek`].
     pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Vec<u8>> {
         let idx = *self.map.get(key)?;
         if let Some(exp) = self.slab[idx as usize].expires_at_ms {
@@ -116,7 +246,7 @@ impl Shard {
         }
         self.detach(idx);
         self.attach_front(idx);
-        Some(self.slab[idx as usize].value.clone())
+        Some(self.slab[idx as usize].value.to_vec())
     }
 
     /// Checks presence without refreshing recency or cloning.
@@ -128,23 +258,104 @@ impl Shard {
         })
     }
 
+    /// Shared-access lookup: returns the value (and a deferred-recency
+    /// [`Touch`] token) without mutating the shard, so concurrent hits
+    /// proceed under a read lock. Expired entries report [`Peek::Expired`]
+    /// and are removed when their token drains.
+    pub fn peek(&self, key: &[u8], now_ms: u64) -> Peek {
+        let Some(&idx) = self.map.get(key) else {
+            return Peek::Miss;
+        };
+        let entry = &self.slab[idx as usize];
+        let token = Touch {
+            idx,
+            stamp: entry.stamp,
+        };
+        if entry.expires_at_ms.is_some_and(|exp| exp <= now_ms) {
+            return Peek::Expired { token };
+        }
+        Peek::Hit {
+            value: Arc::clone(&entry.value),
+            token,
+        }
+    }
+
+    /// Drains a batch of deferred-recency tokens, in issue order: live
+    /// touched entries move to the recency front, entries observed (or
+    /// since become) expired are removed and counted, and stale tokens
+    /// (slot removed or reused since issue) are skipped. Returns the
+    /// number of expirations performed.
+    pub fn apply_touches(&mut self, touches: &[Touch], now_ms: u64) -> u64 {
+        // Only each slot's *last* touch matters: any earlier move-to-front
+        // is superseded by the later one, so duplicates are dropped before
+        // paying the list splice. (Dedup by slot index alone is exact —
+        // a slot's stamp cannot change between touches in one batch,
+        // because removal or reuse happens under the write lock, which
+        // drains the buffer first.) Hot-key skew makes this a large cut:
+        // a Zipf 0.99 batch is mostly repeats of a few slots.
+        let mut last = std::mem::take(&mut self.scratch);
+        last.clear();
+        for touch in touches.iter().rev() {
+            if last.iter().any(|t| t.idx == touch.idx) {
+                continue;
+            }
+            last.push(*touch);
+        }
+        let mut expired = 0;
+        // `last` holds final occurrences in reverse encounter order;
+        // applying it back-to-front restores the batch's issue order.
+        for touch in last.iter().rev() {
+            let Some(entry) = self.slab.get(touch.idx as usize) else {
+                continue;
+            };
+            if !entry.live || entry.stamp != touch.stamp {
+                continue;
+            }
+            if entry.expires_at_ms.is_some_and(|exp| exp <= now_ms) {
+                self.remove_idx(touch.idx);
+                self.expirations += 1;
+                expired += 1;
+            } else {
+                self.detach(touch.idx);
+                self.attach_front(touch.idx);
+            }
+        }
+        self.scratch = last;
+        expired
+    }
+
     /// Inserts or replaces `key`, evicting LRU entries to stay within
-    /// capacity. Returns the number of entries evicted.
-    pub fn insert(&mut self, key: &[u8], value: Vec<u8>, ttl_ms: Option<u64>, now_ms: u64) -> u64 {
+    /// capacity. Returns the number of entries evicted. Accepts anything
+    /// convertible to a shared slice, so owned writes (`Vec<u8>`) and
+    /// already-shared fills (`Arc<[u8]>`) both land without an extra copy
+    /// beyond the conversion itself.
+    pub fn insert(
+        &mut self,
+        key: &[u8],
+        value: impl Into<Arc<[u8]>>,
+        ttl_ms: Option<u64>,
+        now_ms: u64,
+    ) -> u64 {
+        let value: Arc<[u8]> = value.into();
         if let Some(&idx) = self.map.get(key) {
             self.remove_idx(idx);
         }
         let charge = Self::charge(key, &value);
         let boxed_key: Box<[u8]> = key.into();
-        let entry = Entry {
+        let mut entry = Entry {
             key: boxed_key.clone(),
             value,
             expires_at_ms: ttl_ms.map(|t| now_ms.saturating_add(t)),
             prev: NIL,
             next: NIL,
+            stamp: 0,
+            live: true,
         };
         let idx = match self.free.pop() {
             Some(i) => {
+                // Keep the slot's (already bumped) generation so touch
+                // tokens from the previous occupant stay inert.
+                entry.stamp = self.slab[i as usize].stamp;
                 self.slab[i as usize] = entry;
                 i
             }
@@ -234,7 +445,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         // Capacity fits ~3 entries of this size.
-        let charge = Shard::charge(b"k0", &[0u8; 100]);
+        let charge = Shard::<KeyBuildHasher>::charge(b"k0", &[0u8; 100]);
         let mut s = Shard::new(charge * 3);
         s.insert(b"k0", vec![0; 100], None, 0);
         s.insert(b"k1", vec![0; 100], None, 0);
@@ -261,7 +472,7 @@ mod tests {
 
     #[test]
     fn contains_does_not_refresh() {
-        let charge = Shard::charge(b"k0", &[0u8; 100]);
+        let charge = Shard::<KeyBuildHasher>::charge(b"k0", &[0u8; 100]);
         let mut s = Shard::new(charge * 2);
         s.insert(b"k0", vec![0; 100], None, 0);
         s.insert(b"k1", vec![0; 100], None, 0);
@@ -312,7 +523,8 @@ mod tests {
         for i in 0..1000u32 {
             s.insert(&i.to_le_bytes(), vec![0; 64], None, 0);
             assert!(
-                s.used_bytes() <= 5_000 + Shard::charge(&i.to_le_bytes(), &[0u8; 64]),
+                s.used_bytes()
+                    <= 5_000 + Shard::<KeyBuildHasher>::charge(&i.to_le_bytes(), &[0u8; 64]),
                 "used {} after {i}",
                 s.used_bytes()
             );
@@ -322,10 +534,60 @@ mod tests {
     }
 
     #[test]
+    fn peek_defers_recency_until_drain() {
+        let charge = Shard::<KeyBuildHasher>::charge(b"k0", &[0u8; 100]);
+        let mut s = Shard::new(charge * 2);
+        s.insert(b"k0", vec![0; 100], None, 0);
+        s.insert(b"k1", vec![0; 100], None, 0);
+        // Peek k0 but do not drain: recency unchanged, k0 is still LRU.
+        let Peek::Hit { value, token } = s.peek(b"k0", 0) else {
+            panic!("k0 must be resident");
+        };
+        assert_eq!(&value[..], [0u8; 100]);
+        // Drain the touch: k0 moves to front, k1 becomes the victim.
+        assert_eq!(s.apply_touches(&[token], 0), 0);
+        s.insert(b"k2", vec![0; 100], None, 0);
+        assert!(s.contains(b"k0", 0));
+        assert!(!s.contains(b"k1", 0), "k1 was LRU after the drain");
+    }
+
+    #[test]
+    fn stale_touch_tokens_are_inert() {
+        let mut s = shard();
+        s.insert(b"a", vec![1], None, 0);
+        let Peek::Hit { token, .. } = s.peek(b"a", 0) else {
+            panic!("a must be resident");
+        };
+        // Remove and reinsert into the same slot: the old token must not
+        // refresh (or corrupt) the new occupant.
+        assert!(s.remove(b"a"));
+        s.insert(b"b", vec![2], None, 0);
+        assert_eq!(s.apply_touches(&[token], 0), 0);
+        assert_eq!(s.get(b"b", 0), Some(vec![2]));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn expired_peek_is_removed_on_drain_once() {
+        let mut s = shard();
+        s.insert(b"a", vec![1], Some(100), 0);
+        let Peek::Expired { token } = s.peek(b"a", 100) else {
+            panic!("a must be expired at t=100");
+        };
+        let Peek::Expired { token: token2 } = s.peek(b"a", 150) else {
+            panic!("a must still be (logically) expired at t=150");
+        };
+        // Two queued tokens for the same expired entry: one removal.
+        assert_eq!(s.apply_touches(&[token, token2], 150), 1);
+        assert_eq!(s.expirations(), 1);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
     fn recency_order_is_full_chain() {
         // Insert many, touch in a known order, then force evictions and
         // check survivors match the touch order.
-        let charge = Shard::charge(b"k0", &[0u8; 10]);
+        let charge = Shard::<KeyBuildHasher>::charge(b"k0", &[0u8; 10]);
         let mut s = Shard::new(charge * 5);
         for i in 0..5u8 {
             s.insert(&[i], vec![0; 10], None, 0);

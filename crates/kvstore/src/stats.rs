@@ -16,7 +16,11 @@ pub struct CacheStats {
     misses: Arc<Counter>,
     insertions: Arc<Counter>,
     evictions: Arc<Counter>,
+    expirations: Arc<Counter>,
     load_failures: Arc<Counter>,
+    singleflight_fills: Arc<Counter>,
+    singleflight_waits: Arc<Counter>,
+    singleflight_failed_waits: Arc<Counter>,
 }
 
 impl CacheStats {
@@ -33,7 +37,11 @@ impl CacheStats {
             misses: counter(metrics::suffix::MISSES),
             insertions: counter(metrics::suffix::INSERTIONS),
             evictions: counter(metrics::suffix::EVICTIONS),
+            expirations: counter(metrics::suffix::EXPIRATIONS),
             load_failures: counter(metrics::suffix::LOAD_FAILURES),
+            singleflight_fills: counter(metrics::suffix::SINGLEFLIGHT_FILLS),
+            singleflight_waits: counter(metrics::suffix::SINGLEFLIGHT_WAITS),
+            singleflight_failed_waits: counter(metrics::suffix::SINGLEFLIGHT_FAILED_WAITS),
         }
     }
 
@@ -45,6 +53,18 @@ impl CacheStats {
         self.misses.inc();
     }
 
+    pub(crate) fn record_hits(&self, n: u64) {
+        if n > 0 {
+            self.hits.add(n);
+        }
+    }
+
+    pub(crate) fn record_misses(&self, n: u64) {
+        if n > 0 {
+            self.misses.add(n);
+        }
+    }
+
     pub(crate) fn record_insertion(&self, evicted: u64) {
         self.insertions.inc();
         if evicted > 0 {
@@ -54,6 +74,24 @@ impl CacheStats {
 
     pub(crate) fn record_load_failure(&self) {
         self.load_failures.inc();
+    }
+
+    pub(crate) fn record_expirations(&self, expired: u64) {
+        if expired > 0 {
+            self.expirations.add(expired);
+        }
+    }
+
+    pub(crate) fn record_singleflight_fill(&self) {
+        self.singleflight_fills.inc();
+    }
+
+    pub(crate) fn record_singleflight_wait(&self) {
+        self.singleflight_waits.inc();
+    }
+
+    pub(crate) fn record_singleflight_failed_wait(&self) {
+        self.singleflight_failed_waits.inc();
     }
 
     /// Cache hits.
@@ -76,9 +114,31 @@ impl CacheStats {
         self.evictions.get()
     }
 
+    /// Entries removed because their TTL elapsed (counted when the
+    /// expired entry is physically dropped at a touch-buffer drain).
+    pub fn expirations(&self) -> u64 {
+        self.expirations.get()
+    }
+
     /// Read-through loads that returned nothing.
     pub fn load_failures(&self) -> u64 {
         self.load_failures.get()
+    }
+
+    /// Misses that ran the loader as the single-flight leader.
+    pub fn singleflight_fills(&self) -> u64 {
+        self.singleflight_fills.get()
+    }
+
+    /// Misses that parked behind another caller's in-flight fill instead
+    /// of re-running the loader.
+    pub fn singleflight_waits(&self) -> u64 {
+        self.singleflight_waits.get()
+    }
+
+    /// Parked waiters released by a failed (or panicked) fill.
+    pub fn singleflight_failed_waits(&self) -> u64 {
+        self.singleflight_failed_waits.get()
     }
 
     /// Hit rate over all lookups (0.0 before any lookup).

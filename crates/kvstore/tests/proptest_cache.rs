@@ -1,6 +1,8 @@
 //! Property tests for the cache: a model-based test against a reference
-//! map, plus capacity invariants under arbitrary operation sequences.
+//! map, capacity invariants under arbitrary operation sequences, and an
+//! exact-LRU oracle check for the batched-recency read path.
 
+use dcperf_kvstore::shard::Shard;
 use dcperf_kvstore::{Cache, CacheConfig};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -36,7 +38,8 @@ proptest! {
                     reference.insert(k, v);
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(cache.get(&[k]), reference.get(&k).cloned(), "key {}", k);
+                    let got = cache.get(&[k]).map(|v| v.to_vec());
+                    prop_assert_eq!(got, reference.get(&k).cloned(), "key {}", k);
                 }
                 Op::Delete(k) => {
                     let was_present = reference.remove(&k).is_some();
@@ -76,7 +79,56 @@ proptest! {
         let cache = Cache::new(CacheConfig::with_capacity_bytes(1 << 20).with_shards(2));
         for k in keys {
             let got = cache.get_or_load(&[k], |key| Some(vec![key[0]; 3]));
-            prop_assert_eq!(got, Some(vec![k; 3]));
+            prop_assert_eq!(got.map(|v| v.to_vec()), Some(vec![k; 3]));
         }
+    }
+
+    /// The batched-recency read path (read lock + deferred touch buffer)
+    /// must produce the same eviction order as the old inline-recency
+    /// shard. Single-threaded with sampling disabled, every touch lands
+    /// (no `try_lock` contention drops), so a one-shard [`Cache`] driven
+    /// against an exact-LRU [`Shard`] oracle must agree on membership
+    /// *and* hit results at every step — including under capacity
+    /// pressure, where any recency divergence changes which key is
+    /// evicted. This pins down the deferral machinery itself; the
+    /// default sampled mode is a deliberate, documented approximation
+    /// layered on top.
+    #[test]
+    fn batched_recency_matches_exact_lru_oracle(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (any::<u8>(), 16usize..128).prop_map(|(k, len)| (true, k, len)),
+                any::<u8>().prop_map(|k| (false, k, 0)),
+            ],
+            1..400,
+        ),
+    ) {
+        // Small enough that realistic sequences evict constantly.
+        let capacity = 4 << 10;
+        let cache = Cache::new(
+            CacheConfig::with_capacity_bytes(capacity)
+                .with_shards(1)
+                .with_exact_recency(),
+        );
+        let mut oracle = Shard::new(capacity);
+        for (is_set, k, len) in ops {
+            if is_set {
+                cache.set(&[k], vec![k; len]);
+                oracle.insert(&[k], vec![k; len], None, 0);
+            } else {
+                let got = cache.get(&[k]).map(|v| v.to_vec());
+                let expected = oracle.get(&[k], 0);
+                prop_assert_eq!(got, expected, "get({}) diverged from exact LRU", k);
+            }
+        }
+        for k in 0..=255u8 {
+            prop_assert_eq!(
+                cache.contains(&[k]),
+                oracle.contains(&[k], 0),
+                "membership of {} diverged from exact LRU", k
+            );
+        }
+        prop_assert_eq!(cache.len(), oracle.len());
+        prop_assert_eq!(cache.used_bytes(), oracle.used_bytes());
     }
 }

@@ -62,7 +62,8 @@ pub const PREFIX_RESILIENCE_BREAKER: &str = "resilience.breaker";
 // --- kvstore -------------------------------------------------------------
 
 /// Cache counters (`hits`, `misses`, `insertions`, `evictions`,
-/// `load_failures`).
+/// `expirations`, `load_failures`, `singleflight_fills`,
+/// `singleflight_waits`, `singleflight_failed_waits`).
 pub const PREFIX_CACHE: &str = "kvstore.cache";
 
 // --- chaos / fault injection --------------------------------------------
@@ -120,8 +121,16 @@ pub mod suffix {
     pub const INSERTIONS: &str = "insertions";
     /// Cache evictions for capacity.
     pub const EVICTIONS: &str = "evictions";
+    /// Cache entries removed because their TTL elapsed.
+    pub const EXPIRATIONS: &str = "expirations";
     /// Read-through loads that returned nothing.
     pub const LOAD_FAILURES: &str = "load_failures";
+    /// Cache misses that ran the loader as the single-flight leader.
+    pub const SINGLEFLIGHT_FILLS: &str = "singleflight_fills";
+    /// Cache misses that parked behind another caller's in-flight fill.
+    pub const SINGLEFLIGHT_WAITS: &str = "singleflight_waits";
+    /// Parked waiters released by a failed (or panicked) fill.
+    pub const SINGLEFLIGHT_FAILED_WAITS: &str = "singleflight_failed_waits";
     /// Operations a fault plan inspected.
     pub const OPERATIONS: &str = "operations";
     /// Operations that had latency injected.

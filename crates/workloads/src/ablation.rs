@@ -41,12 +41,12 @@ fn cache_server(cache: Arc<Cache>, store: Arc<BackingStore>, workers: usize) -> 
         move |req: &Request| match req.method.as_str() {
             // Read-through GET: the server fills on miss.
             "get_rt" => match cache.get_or_load(&req.body, |k| store.lookup(k)) {
-                Some(v) => Response::ok(v),
+                Some(v) => Response::ok(v.to_vec()),
                 None => Response::error("missing"),
             },
             // Look-aside GET: cache only; miss is the client's problem.
             "get_la" => match cache.get(&req.body) {
-                Some(v) => Response::ok(v),
+                Some(v) => Response::ok(v.to_vec()),
                 None => Response::error("miss"),
             },
             // Look-aside backend read (a separate "database" service in

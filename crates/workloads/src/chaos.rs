@@ -147,7 +147,9 @@ pub struct ChaosOutcome {
     pub slo_attained: bool,
     /// Merged telemetry: the server registry (`rpc.*`, `rpc.pool.*`,
     /// `rpc.breaker.*`, `rpc.resilient.*`), the load-generator counters
-    /// (`loadgen.*`), and the fault plans' injection counters (`chaos.*`).
+    /// (`loadgen.*`), the cache tier (`kvstore.cache.*`, including TTL
+    /// expirations and single-flight fill/wait counts), and the fault
+    /// plans' injection counters (`chaos.*`).
     pub snapshot: TelemetrySnapshot,
 }
 
@@ -247,8 +249,16 @@ pub fn run_tao_chaos(config: &TaoChaosConfig, slo: &SloSpec) -> ChaosOutcome {
         .with_fault_plan(Arc::clone(&store_plan)),
     );
 
-    let cache = Arc::new(Cache::new(
-        CacheConfig::with_capacity_bytes(((config.key_space as usize) * 450) / 3).with_shards(16),
+    // The cache records into its own registry, merged into the outcome
+    // snapshot below, so chaos runs surface TTL churn and single-flight
+    // coalescing alongside the RPC and injection counters. The TTL keeps
+    // entries churning within one run, memcached-style.
+    let cache_registry = Telemetry::new();
+    let cache = Arc::new(Cache::with_telemetry(
+        CacheConfig::with_capacity_bytes(((config.key_space as usize) * 450) / 3)
+            .with_shards(16)
+            .with_default_ttl_ms(100),
+        &cache_registry,
     ));
 
     // Server: the TaoBench fast/slow architecture.
@@ -258,7 +268,7 @@ pub fn run_tao_chaos(config: &TaoChaosConfig, slo: &SloSpec) -> ChaosOutcome {
     let server = InProcServer::start_with_classifier(
         move |req: &Request| match req.method.as_str() {
             "get" => match handler_cache.get_or_load(&req.body, |key| handler_store.lookup(key)) {
-                Some(value) => Response::ok(value),
+                Some(value) => Response::ok(value.to_vec()),
                 None => Response::error("object not found"),
             },
             "set" => {
@@ -272,7 +282,9 @@ pub fn run_tao_chaos(config: &TaoChaosConfig, slo: &SloSpec) -> ChaosOutcome {
             other => Response::error(&format!("unknown method {other}")),
         },
         move |req: &Request| {
-            if req.method == "get" && classify_cache.get(&req.body).is_some() {
+            // A stat-less `contains` peek: classification must not skew
+            // the hit/miss counters the snapshot reports.
+            if req.method == "get" && classify_cache.contains(&req.body) {
                 Lane::Fast
             } else {
                 Lane::Slow
@@ -333,6 +345,7 @@ pub fn run_tao_chaos(config: &TaoChaosConfig, slo: &SloSpec) -> ChaosOutcome {
 
     let slo_attained = slo.evaluate(&load.latency_ns, load.error_rate()).is_met();
     let mut snapshot = registry.snapshot();
+    snapshot.merge(&cache_registry.snapshot());
     merge_plan_counters(&mut snapshot, metrics::PREFIX_CHAOS_STORE, &store_plan);
     merge_plan_counters(&mut snapshot, metrics::PREFIX_CHAOS_RPC, &rpc_plan);
     server.shutdown();
@@ -567,6 +580,44 @@ mod tests {
             "retries goodput {} !> no-retries {}",
             with_retries.goodput_rps(),
             without_retries.goodput_rps()
+        );
+    }
+
+    #[test]
+    fn store_stall_coalesces_fills_instead_of_stampeding() {
+        // Every backing lookup stalls 5 ms over a small, hot Zipf key
+        // space: misses pile up on the same keys, and the cache's
+        // single-flight table must park the latecomers behind the one
+        // in-flight load rather than letting the stall multiply into N
+        // concurrent backing-store lookups per key.
+        let mut config = quick(TaoChaosConfig {
+            store_latency_fault: Some((1.0, Duration::from_millis(5))),
+            rpc_error_rate: 0.0,
+            request_deadline: None,
+            ..TaoChaosConfig::default()
+        });
+        config.key_space = 200;
+        let outcome = run_tao_chaos(&config, &tight_slo());
+        let snap = &outcome.snapshot;
+
+        let misses = snap.counter("kvstore.cache.misses").unwrap_or(0);
+        let fills = snap
+            .counter("kvstore.cache.singleflight_fills")
+            .unwrap_or(0);
+        let waits = snap
+            .counter("kvstore.cache.singleflight_waits")
+            .unwrap_or(0);
+        assert!(misses > 0 && fills > 0, "misses={misses} fills={fills}");
+        assert!(
+            waits > 0,
+            "no concurrent miss ever coalesced (fills={fills} misses={misses})"
+        );
+        assert!(fills <= misses, "a fill implies a miss");
+        // The 100 ms cache TTL churns entries within the run, and the
+        // merged snapshot must see that churn.
+        assert!(
+            snap.counter("kvstore.cache.expirations").unwrap_or(0) > 0,
+            "TTL churn invisible in the chaos snapshot"
         );
     }
 

@@ -67,6 +67,59 @@ pub struct TaoBench {
     config: TaoBenchConfig,
 }
 
+/// Marker length for a missing object in an `mget` response slot.
+const MGET_MISSING: u32 = u32::MAX;
+
+/// Appends one `mget` response slot: `u32` little-endian length plus the
+/// value bytes, with [`MGET_MISSING`] marking an absent object.
+fn encode_mget_slot(out: &mut Vec<u8>, value: Option<&[u8]>) {
+    match value {
+        Some(v) => {
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        None => out.extend_from_slice(&MGET_MISSING.to_le_bytes()),
+    }
+}
+
+/// Consumes one `mget` response slot from `rest`. `Ok(None)` is a missing
+/// object; `Err(())` is a truncated or malformed frame.
+fn parse_mget_slot<'a>(rest: &mut &'a [u8]) -> Result<Option<&'a [u8]>, ()> {
+    let (len_bytes, tail) = rest.split_at_checked(4).ok_or(())?;
+    let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]);
+    if len == MGET_MISSING {
+        *rest = tail;
+        return Ok(None);
+    }
+    let (value, tail) = tail.split_at_checked(len as usize).ok_or(())?;
+    *rest = tail;
+    Ok(Some(value))
+}
+
+/// Appends one `mset` request item: 8-byte key, `u32` little-endian
+/// length, value bytes.
+fn encode_mset_item(out: &mut Vec<u8>, key: &[u8], value: &[u8]) {
+    out.extend_from_slice(key);
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(value);
+}
+
+/// Decodes a whole `mset` request body into key/value pairs, or `None` if
+/// the frame is malformed.
+fn parse_mset_items(body: &[u8]) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+    let mut items = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let (key, tail) = rest.split_at_checked(8)?;
+        let (len_bytes, tail) = tail.split_at_checked(4)?;
+        let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]);
+        let (value, tail) = tail.split_at_checked(len as usize)?;
+        items.push((key.to_vec(), value.to_vec()));
+        rest = tail;
+    }
+    Some(items)
+}
+
 impl TaoBench {
     /// Creates the benchmark with an explicit configuration.
     pub fn with_config(config: TaoBenchConfig) -> Self {
@@ -110,29 +163,49 @@ impl Service for TaoClient {
     }
 
     fn call_many(&self, batch: &[(usize, u64)]) -> Vec<Result<usize, ServiceError>> {
-        // Group the burst by method so each group rides one pipelined
-        // multiplexed dispatch, then scatter results back in issue order.
-        let mut gets: Vec<(usize, Vec<u8>)> = Vec::new();
-        let mut sets: Vec<(usize, Vec<u8>)> = Vec::new();
+        // Fold the burst into at most two multi-key requests — one mget
+        // carrying every GET key and one mset carrying every SET — so the
+        // whole pipelined burst maps onto one shard-grouped cache pass
+        // server-side, then scatter results back in issue order.
+        let mut get_slots: Vec<usize> = Vec::new();
+        let mut mget_body: Vec<u8> = Vec::new();
+        let mut set_slots: Vec<usize> = Vec::new();
+        let mut mset_body: Vec<u8> = Vec::new();
         for (idx, &(endpoint, seq)) in batch.iter().enumerate() {
-            let key = self.key_for(seq).to_le_bytes().to_vec();
+            let key = self.key_for(seq).to_le_bytes();
             if endpoint == 0 {
-                gets.push((idx, key));
+                get_slots.push(idx);
+                mget_body.extend_from_slice(&key);
             } else {
-                let mut body = key.clone();
-                body.extend_from_slice(&self.store.synthesize_for_key(&key));
-                sets.push((idx, body));
+                set_slots.push(idx);
+                encode_mset_item(&mut mset_body, &key, &self.store.synthesize_for_key(&key));
             }
         }
         let mut results: Vec<Option<Result<usize, ServiceError>>> = vec![None; batch.len()];
-        for (method, group) in [("get", gets), ("set", sets)] {
-            if group.is_empty() {
-                continue;
+        if !get_slots.is_empty() {
+            match self.rpc.call("mget", mget_body) {
+                Ok(resp) => {
+                    let mut rest = resp.body.as_slice();
+                    for &idx in &get_slots {
+                        results[idx] = Some(match parse_mget_slot(&mut rest) {
+                            Ok(Some(value)) => Ok(value.len()),
+                            Ok(None) => Err(ServiceError::new("object not found")),
+                            Err(()) => Err(ServiceError::new("truncated mget response")),
+                        });
+                    }
+                }
+                Err(e) => {
+                    let err = ServiceError::new(e.to_string());
+                    for &idx in &get_slots {
+                        results[idx] = Some(Err(err.clone()));
+                    }
+                }
             }
-            let bodies: Vec<Vec<u8>> = group.iter().map(|(_, b)| b.clone()).collect();
-            let outcomes = self.rpc.call_many(method, bodies);
-            for ((idx, _), outcome) in group.into_iter().zip(outcomes) {
-                results[idx] = Some(match outcome {
+        }
+        if !set_slots.is_empty() {
+            let outcome = self.rpc.call("mset", mset_body);
+            for &idx in &set_slots {
+                results[idx] = Some(match &outcome {
                     Ok(resp) => Ok(resp.body.len()),
                     Err(e) => Err(ServiceError::new(e.to_string())),
                 });
@@ -192,7 +265,7 @@ impl Benchmark for TaoBench {
             move |req: &Request| match req.method.as_str() {
                 "get" => {
                     match handler_cache.get_or_load(&req.body, |key| handler_store.lookup(key)) {
-                        Some(value) => Response::ok(value),
+                        Some(value) => Response::ok(value.to_vec()),
                         None => Response::error("object not found"),
                     }
                 }
@@ -204,15 +277,49 @@ impl Benchmark for TaoBench {
                     handler_cache.set(key, value.to_vec());
                     Response::ok(Vec::new())
                 }
+                "mget" => {
+                    // Body: concatenated 8-byte keys. The whole burst
+                    // resolves in one shard-grouped cache pass, with
+                    // misses loaded through the single-flight fill path.
+                    if !req.body.len().is_multiple_of(8) {
+                        return Response::error("malformed mget");
+                    }
+                    let keys: Vec<&[u8]> = req.body.chunks_exact(8).collect();
+                    let values =
+                        handler_cache.get_or_load_many(&keys, |key| handler_store.lookup(key));
+                    let mut out = Vec::new();
+                    for value in &values {
+                        encode_mget_slot(&mut out, value.as_deref());
+                    }
+                    Response::ok(out)
+                }
+                "mset" => match parse_mset_items(&req.body) {
+                    // One write-locked pass per touched shard.
+                    Some(items) => {
+                        handler_cache.set_many(items);
+                        Response::ok(Vec::new())
+                    }
+                    None => Response::error("malformed mset"),
+                },
                 other => Response::error(&format!("unknown method {other}")),
             },
             move |req: &Request| {
                 // TAO's dispatch: peek the cache; hits go to fast
-                // threads, misses and writes to slow threads.
-                if req.method == "get" && classify_cache.get(&req.body).is_some() {
-                    Lane::Fast
-                } else {
-                    Lane::Slow
+                // threads, misses and writes to slow threads. The peek is
+                // a stat-less `contains` so classification neither skews
+                // hit/miss counters nor perturbs LRU order.
+                match req.method.as_str() {
+                    "get" if classify_cache.contains(&req.body) => Lane::Fast,
+                    "mget"
+                        if req.body.len().is_multiple_of(8)
+                            && req
+                                .body
+                                .chunks_exact(8)
+                                .all(|key| classify_cache.contains(key)) =>
+                    {
+                        Lane::Fast
+                    }
+                    _ => Lane::Slow,
                 }
             },
             PoolConfig::fast_slow(fast_threads, slow_threads).with_queue_depth(8192),
@@ -345,6 +452,35 @@ mod tests {
         let report = bench.run(&mut ctx).unwrap();
         let hit_rate = report.metric_f64("cache_hit_rate").unwrap();
         assert!(hit_rate > 0.35, "hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn mget_slot_roundtrip() {
+        let mut out = Vec::new();
+        encode_mget_slot(&mut out, Some(b"hello"));
+        encode_mget_slot(&mut out, None);
+        encode_mget_slot(&mut out, Some(b""));
+        let mut rest = out.as_slice();
+        assert_eq!(parse_mget_slot(&mut rest), Ok(Some(&b"hello"[..])));
+        assert_eq!(parse_mget_slot(&mut rest), Ok(None));
+        assert_eq!(parse_mget_slot(&mut rest), Ok(Some(&b""[..])));
+        assert!(rest.is_empty());
+        // Truncated frames are a typed error, not a panic.
+        let mut truncated = &out[..2];
+        assert_eq!(parse_mget_slot(&mut truncated), Err(()));
+    }
+
+    #[test]
+    fn mset_items_roundtrip() {
+        let mut body = Vec::new();
+        encode_mset_item(&mut body, &7u64.to_le_bytes(), b"value-7");
+        encode_mset_item(&mut body, &8u64.to_le_bytes(), b"");
+        let items = parse_mset_items(&body).expect("well-formed mset");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].0, 7u64.to_le_bytes());
+        assert_eq!(items[0].1, b"value-7");
+        assert_eq!(items[1].1, b"");
+        assert!(parse_mset_items(&body[..5]).is_none(), "truncated mset");
     }
 
     #[test]

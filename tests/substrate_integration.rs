@@ -29,7 +29,7 @@ fn rpc_cache_store_pipeline_round_trips() {
             // Response path: serialize → compress → MAC, like FeedSim.
             let value = Value::Struct(vec![
                 (1, Value::Bin(req.body.to_vec())),
-                (2, Value::Bin(object)),
+                (2, Value::Bin(object.to_vec())),
             ])
             .encode();
             let mut packed = compress::lz_compress(&value);
